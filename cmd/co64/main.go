@@ -1,0 +1,116 @@
+// Command co64 is a standalone front end for the CO64 toolchain used by
+// the reproduction: it assembles, disassembles, emulates, and
+// cycle-simulates CO64 assembly files.
+//
+// Usage:
+//
+//	co64 run <file.s> [flags]     emulate architecturally, dump registers
+//	co64 sim <file.s> [flags]     cycle-simulate on baseline + optimized
+//	co64 fmt <file.s>             assemble then pretty-print (disassemble)
+//	co64 trace <file.s> [flags]   optimized-machine retirement trace
+//
+// Flags:
+//
+//	-max N      instruction limit for run/trace (0 = to completion)
+//	-regs       with run: print all non-zero registers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "co64:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("co64", flag.ContinueOnError)
+	max := fs.Uint64("max", 0, "instruction limit (0 = to completion)")
+	regs := fs.Bool("regs", false, "print all non-zero registers")
+	if len(args) < 1 {
+		usage()
+		return nil
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: co64 %s <file.s>", cmd)
+	}
+	src, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(rest[0], string(src))
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "run":
+		return emulate(prog, *max, *regs)
+	case "sim":
+		return simulate(prog)
+	case "fmt":
+		fmt.Print(asm.Format(prog))
+		return nil
+	case "trace":
+		cfg := pipeline.DefaultConfig()
+		cfg.MaxInsts = *max
+		s := pipeline.New(cfg, prog)
+		s.SetTraceWriter(os.Stdout)
+		s.Run()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func emulate(prog *emu.Program, max uint64, allRegs bool) error {
+	m := emu.New(prog)
+	n := m.Run(max)
+	fmt.Printf("executed %d instructions, halted=%v\n", n, m.Halted())
+	if allRegs {
+		for r := 0; r < isa.NumRegs; r++ {
+			if v := m.Regs[r]; v != 0 {
+				fmt.Printf("  %-4s = %#x (%d)\n", isa.Reg(r), v, int64(v))
+			}
+		}
+	}
+	if addr, ok := prog.Symbol("result"); ok {
+		fmt.Printf("result @ %#x = %d\n", addr, m.Mem.Load64(addr))
+	}
+	return nil
+}
+
+func simulate(prog *emu.Program) error {
+	base := pipeline.Run(pipeline.DefaultConfig().Baseline(), prog)
+	opt := pipeline.Run(pipeline.DefaultConfig(), prog)
+	fmt.Printf("baseline:  %d cycles, IPC %.3f\n", base.Cycles, base.IPC())
+	fmt.Printf("optimized: %d cycles, IPC %.3f (speedup %.3f)\n",
+		opt.Cycles, opt.IPC(), opt.SpeedupOver(base))
+	fmt.Printf("early %.1f%%  addr-gen %.1f%%  loads removed %.1f%%  mispred recovered %.1f%%\n",
+		opt.PctEarlyExecuted(), opt.PctAddrGen(), opt.PctLoadsRemoved(), opt.PctMispredRecovered())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: co64 <run|sim|fmt|trace> <file.s> [flags]
+  run    emulate architecturally (-max N, -regs)
+  sim    cycle-simulate on baseline and optimized machines
+  fmt    assemble and pretty-print
+  trace  per-retirement trace on the optimized machine (-max N)`)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `
+start:
+    ldi params -> r1
+    ldq [r1] -> r2
+loop:
+    sub r2, 1 -> r2
+    bne r2, loop
+    ldi result -> r3
+    stq r2 -> [r3]
+    halt
+.org 0x20000
+.data params
+.quad 25
+.data result
+.quad 99
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.s")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCommand(t *testing.T) {
+	if err := run([]string{"run", writeSample(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithRegsAndMax(t *testing.T) {
+	if err := run([]string{"run", "-max", "10", "-regs", writeSample(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimCommand(t *testing.T) {
+	if err := run([]string{"sim", writeSample(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtCommand(t *testing.T) {
+	if err := run([]string{"fmt", writeSample(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	// Redirect the trace away from the test log.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+	if err := run([]string{"trace", "-max", "50", writeSample(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"run", "/nonexistent/file.s"}); err == nil {
+		t.Error("expected file error")
+	}
+	if err := run([]string{"bogus", writeSample(t)}); err == nil {
+		t.Error("expected unknown-command error")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("expected usage error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	os.WriteFile(bad, []byte("frobnicate"), 0o644)
+	if err := run([]string{"run", bad}); err == nil {
+		t.Error("expected assembly error")
+	}
+}
+
+func TestNoArgsIsUsage(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Errorf("bare invocation prints usage, got %v", err)
+	}
+}

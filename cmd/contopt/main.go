@@ -1,0 +1,204 @@
+// Command contopt runs the continuous-optimization reproduction: it
+// lists the workloads, simulates individual benchmarks, and regenerates
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	contopt list                      workload inventory (Table 1)
+//	contopt run <bench> [flags]       simulate one benchmark, both machines
+//	contopt figure6|table3            headline results
+//	contopt figure8|figure9|figure10|figure11|figure12
+//	                                  machine-model and sensitivity studies
+//	contopt ablations                 MBC sweep + policy toggles (beyond paper)
+//	contopt all                       everything above
+//
+// Flags:
+//
+//	-scale N     override benchmark iteration scale (0 = default)
+//	-parallel N  concurrent simulations (0 = GOMAXPROCS)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/emu"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "contopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("contopt", flag.ContinueOnError)
+	scale := fs.Int("scale", 0, "benchmark iteration scale (0 = default)")
+	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts := harness.Options{Scale: *scale, Parallelism: *parallel}
+	out := os.Stdout
+
+	experiments := map[string]func() error{
+		"table1":   func() error { return opts.Table1(out) },
+		"figure6":  func() error { return opts.Figure6(out) },
+		"table3":   func() error { return opts.Table3(out) },
+		"figure8":  func() error { return opts.Figure8(out) },
+		"figure9":  func() error { return opts.Figure9(out) },
+		"figure10": func() error { return opts.Figure10(out) },
+		"figure11": func() error { return opts.Figure11(out) },
+		"figure12": func() error { return opts.Figure12(out) },
+	}
+
+	switch cmd {
+	case "list":
+		return list(out)
+	case "run":
+		rest := fs.Args()
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: contopt run <benchmark>")
+		}
+		return runOne(out, rest[0], *scale)
+	case "ablations":
+		if err := opts.MBCSweep(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return opts.PolicySweep(out)
+	case "discrete":
+		return opts.DiscreteSweep(out)
+	case "dead":
+		return opts.DeadValues(out)
+	case "verify":
+		return verify(out, *scale)
+	case "all":
+		for _, name := range []string{"table1", "figure6", "table3", "figure8",
+			"figure9", "figure10", "figure11", "figure12"} {
+			start := time.Now()
+			if err := experiments[name](); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+		if err := opts.MBCSweep(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := opts.PolicySweep(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := opts.DiscreteSweep(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return opts.DeadValues(out)
+	default:
+		if fn, ok := experiments[cmd]; ok {
+			return fn()
+		}
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func list(out *os.File) error {
+	for _, b := range workloads.All() {
+		fmt.Fprintf(out, "%-11s %-7s %s\n", b.Suite, b.Name, b.Notes)
+	}
+	return nil
+}
+
+func runOne(out *os.File, name string, scale int) error {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (try 'contopt list')", name)
+	}
+	prog := b.Program(scale)
+	base := pipeline.Run(pipeline.DefaultConfig().Baseline(), prog)
+	opt := pipeline.Run(pipeline.DefaultConfig(), prog)
+	fmt.Fprintf(out, "%s (%s): %s\n", b.Name, b.Suite, b.Notes)
+	fmt.Fprintf(out, "  baseline:  %d insts, %d cycles, IPC %.3f\n", base.Retired, base.Cycles, base.IPC())
+	fmt.Fprintf(out, "  optimized: %d insts, %d cycles, IPC %.3f\n", opt.Retired, opt.Cycles, opt.IPC())
+	fmt.Fprintf(out, "  speedup: %.3f\n", opt.SpeedupOver(base))
+	fmt.Fprintf(out, "  exec early %.1f%%  mispred recovered %.1f%%  addr gen %.1f%%  loads removed %.1f%%\n",
+		opt.PctEarlyExecuted(), opt.PctMispredRecovered(), opt.PctAddrGen(), opt.PctLoadsRemoved())
+	fmt.Fprintf(out, "  reassociated %d  moves collapsed %d  strength reduced %d  inferences %d  feedback %d\n",
+		opt.Opt.Reassociated, opt.Opt.MovesCollapsed, opt.Opt.StrengthReduced,
+		opt.Opt.Inferences, opt.Opt.FeedbackApplied)
+	budget := pipeline.DefaultConfig().Opt.Budget()
+	fmt.Fprintf(out, "  optimizer hardware: %d bytes of table storage (%d CP/RA + %d MBC entries)\n",
+		budget.TotalBytes(), budget.CPRAEntries, budget.MBCEntries)
+	return nil
+}
+
+// verify runs every benchmark through the emulator and both machine
+// models, checking that each retires exactly the oracle instruction
+// count with no leaked physical registers. The optimizer's internal
+// value checking panics on any unsound transformation, so a clean pass
+// certifies the build end to end without the test suite.
+func verify(out *os.File, scale int) error {
+	if scale == 0 {
+		scale = 1
+	}
+	configs := []pipeline.Config{
+		pipeline.DefaultConfig().Baseline(),
+		pipeline.DefaultConfig(),
+	}
+	for _, b := range workloads.All() {
+		prog := b.Program(scale)
+		m := emu.New(prog)
+		m.Run(0)
+		want := m.InstCount()
+		for _, cfg := range configs {
+			s := pipeline.New(cfg, prog)
+			res := s.Run()
+			if res.Retired != want {
+				return fmt.Errorf("%s/%s: retired %d, oracle executed %d",
+					b.Name, cfg.Name, res.Retired, want)
+			}
+			if live := s.LiveRegs(); live != 0 {
+				return fmt.Errorf("%s/%s: %d physical registers leaked", b.Name, cfg.Name, live)
+			}
+		}
+		fmt.Fprintf(out, "ok  %-7s %8d instructions, both machines agree with the oracle\n", b.Name, want)
+	}
+	fmt.Fprintln(out, "all 22 benchmarks verified")
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: contopt <command> [flags]
+
+commands:
+  list        workload inventory
+  run <name>  simulate one benchmark on both machines
+  table1      workload instruction counts
+  figure6     per-benchmark speedups
+  table3      optimizer effect percentages
+  figure8     fetch-/execution-bound machine models
+  figure9     value feedback vs full optimization
+  figure10    dependence-depth sensitivity
+  figure11    optimizer latency sensitivity
+  figure12    feedback delay sensitivity
+  ablations   MBC capacity + policy sweeps (beyond the paper)
+  discrete    continuous vs. offline-style (trace-flushed) optimization
+  dead        dead-value fraction, baseline vs. optimized
+  verify      check both machines against the oracle on all benchmarks
+  all         run every experiment
+
+flags: -scale N, -parallel N`)
+}

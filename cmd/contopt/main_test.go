@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestListCommand(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"list"}) })
+	for _, want := range []string{"mcf", "untst", "SPECint", "mediabench"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"run", "-scale", "1", "art"}) })
+	for _, want := range []string{"baseline:", "optimized:", "speedup:", "exec early"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCommandUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"run", "bogus"}); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestRunCommandMissingArg(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Error("expected usage error")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("expected error for unknown command")
+	}
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Errorf("bare invocation should print usage, got %v", err)
+	}
+}
+
+func TestExperimentCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment commands take seconds each")
+	}
+	cases := []struct{ cmd, want string }{
+		{"table1", "Table 1"},
+		{"figure6", "Figure 6"},
+		{"table3", "Table 3"},
+		{"figure9", "Figure 9"},
+		{"dead", "dead destination values"},
+		{"verify", "all 22 benchmarks verified"},
+	}
+	for _, c := range cases {
+		t.Run(c.cmd, func(t *testing.T) {
+			out := capture(t, func() error { return run([]string{c.cmd, "-scale", "1"}) })
+			if !strings.Contains(out, c.want) {
+				t.Errorf("%s output missing %q:\n%.200s", c.cmd, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Package contopt is the public API of the continuous-optimization
+// reproduction (Fahs, Rafacz, Patel, Lumetta — "Continuous Optimization",
+// ISCA 2005 / UIUC CRHC-04-07).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - assembling CO64 programs (Assemble)
+//   - running them on the cycle-level machine model with or without the
+//     continuous optimizer (Run, DefaultConfig, BaselineConfig)
+//   - the 22-benchmark workload registry (Benchmarks, Benchmark)
+//   - the experiment harness that regenerates the paper's tables and
+//     figures (Experiments)
+//
+// Quick start:
+//
+//	prog, err := contopt.Assemble("demo", src)
+//	base := contopt.Run(contopt.BaselineConfig(), prog)
+//	opt := contopt.Run(contopt.DefaultConfig(), prog)
+//	fmt.Printf("speedup %.3f\n", opt.SpeedupOver(base))
+package contopt
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// Config describes a simulated machine (see pipeline.Config for fields).
+type Config = pipeline.Config
+
+// Result carries the outcome of one simulation.
+type Result = pipeline.Result
+
+// Program is an executable CO64 image.
+type Program = emu.Program
+
+// Benchmark is one entry of the workload registry.
+type Benchmark = workloads.Benchmark
+
+// Experiments runs the paper's tables and figures; see harness.Options.
+type Experiments = harness.Options
+
+// OptimizerMode selects baseline / feedback-only / full optimization.
+type OptimizerMode = core.Mode
+
+// Optimizer modes, re-exported for configuration.
+const (
+	ModeBaseline     = core.ModeBaseline
+	ModeFeedbackOnly = core.ModeFeedbackOnly
+	ModeFull         = core.ModeFull
+)
+
+// DefaultConfig returns the paper's default machine (Table 2) with
+// continuous optimization enabled.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// BaselineConfig returns the comparison machine without the optimizer.
+func BaselineConfig() Config { return pipeline.DefaultConfig().Baseline() }
+
+// Assemble translates CO64 assembly into an executable program.
+func Assemble(name, source string) (*Program, error) {
+	return asm.Assemble(name, source)
+}
+
+// Run simulates prog on the machine described by cfg.
+func Run(cfg Config, prog *Program) *Result {
+	return pipeline.Run(cfg, prog)
+}
+
+// Emulate executes prog architecturally (no timing) for at most max
+// instructions (0 = to completion) and returns the finished machine.
+func Emulate(prog *Program, max uint64) *emu.Machine {
+	m := emu.New(prog)
+	m.Run(max)
+	return m
+}
+
+// Benchmarks returns the 22-benchmark registry in suite order.
+func Benchmarks() []*Benchmark { return workloads.All() }
+
+// BenchmarkByName finds a benchmark by its Table 1 abbreviation.
+func BenchmarkByName(name string) (*Benchmark, error) {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("contopt: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// RunBenchmark simulates a registry benchmark at the given scale (0 =
+// default) under cfg.
+func RunBenchmark(name string, scale int, cfg Config) (*Result, error) {
+	b, err := BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(cfg, b.Program(scale)), nil
+}

@@ -1,0 +1,72 @@
+// Quickstart: assemble a small CO64 kernel, run it through the baseline
+// and continuously-optimized machines, and print what the optimizer did.
+//
+// The kernel is the paper's Figure 4 motivating example — an array-sum
+// loop whose trip count is loaded from memory: the loop-carried index
+// and counter chains reassociate onto the initial loads, value feedback
+// turns them into constants, and from then on the optimizer executes the
+// bookkeeping instructions and resolves the loop branch at rename.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	contopt "repro"
+)
+
+const src = `
+; sum the elements of an array; the element count is not statically
+; computable (it comes from memory), as in the paper's Figure 4
+start:
+    ldi params -> r29
+    ldq [r29] -> r1        ; loop counter (from memory)
+    ldi array -> r30
+    ldq [r29+8] -> r4      ; running sum seed
+loop:
+    ldq [r30] -> r2        ; array element
+    add r30, 8 -> r30      ; next index
+    add r4, r2 -> r4       ; sum += element
+    sub r1, 1 -> r1
+    bne r1, loop
+    stq r4 -> [r29+16]
+    halt
+
+.org 0x20000
+.data params
+.quad 64, 0, 0
+.data array
+.quad 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+.quad 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5
+.quad 0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7
+.quad 5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2
+`
+
+func main() {
+	prog, err := contopt.Assemble("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Architectural result first: the emulator is the oracle both
+	// machine models replay and validate against.
+	m := contopt.Emulate(prog, 0)
+	fmt.Printf("architectural sum = %d (%d instructions)\n\n",
+		m.Mem.Load64(0x20010), m.InstCount())
+
+	base := contopt.Run(contopt.BaselineConfig(), prog)
+	opt := contopt.Run(contopt.DefaultConfig(), prog)
+
+	fmt.Printf("baseline:  %5d cycles  IPC %.2f\n", base.Cycles, base.IPC())
+	fmt.Printf("optimized: %5d cycles  IPC %.2f\n", opt.Cycles, opt.IPC())
+	fmt.Printf("speedup:   %.3f\n\n", opt.SpeedupOver(base))
+
+	fmt.Printf("what the continuous optimizer did:\n")
+	fmt.Printf("  executed early:       %5.1f%% of instructions\n", opt.PctEarlyExecuted())
+	fmt.Printf("  addresses generated:  %5.1f%% of memory ops\n", opt.PctAddrGen())
+	fmt.Printf("  reassociations:       %d\n", opt.Opt.Reassociated)
+	fmt.Printf("  feedback conversions: %d\n", opt.Opt.FeedbackApplied)
+	fmt.Printf("  branches resolved:    %d at rename\n", opt.Opt.BranchesResolved)
+}

@@ -1,0 +1,529 @@
+// Package asm implements a two-pass assembler for CO64 programs. The
+// workload suites (internal/workloads) are written in this assembly
+// dialect.
+//
+// Syntax overview (one statement per line, ';' or '#' starts a comment):
+//
+//	start:                     ; code label
+//	    ldi 100 -> r1          ; load immediate
+//	    ldi table -> r2        ; labels are valid immediates
+//	    add r1, 4 -> r3        ; register/immediate ALU forms
+//	    add r1, r3 -> r4
+//	    mul r1, r4 -> r5
+//	    ldq [r2+8] -> r6       ; load: [base+disp]
+//	    stq r6 -> [r2+16]      ; store
+//	    beq r1, done           ; conditional branches test reg vs zero
+//	    jsr ra, fn             ; call: return PC into ra
+//	    jmp ra                 ; indirect jump (return)
+//	done:
+//	    halt
+//
+//	.org 0x20000               ; set the data cursor
+//	.data table                ; bind a data label to the cursor
+//	.quad 1, 2, 3, -4          ; emit 8-byte words (labels allowed)
+//	.space 256                 ; reserve zeroed bytes
+//
+// Register aliases: zero=r31, sp=r30, ra=r26, fzero=f31.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// DefaultDataBase is the data cursor at the start of assembly; programs
+// that do not use .org place their data here.
+const DefaultDataBase = 0x10000
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	name   string
+	lines  []string
+	labels map[string]uint64 // code labels -> instruction index; data labels -> byte address
+	code   []isa.Inst
+	data   map[uint64][]byte // base address -> bytes, coalesced later
+}
+
+// Assemble translates source into an executable program named name.
+func Assemble(name, source string) (*emu.Program, error) {
+	a := &assembler{
+		name:   name,
+		lines:  strings.Split(source, "\n"),
+		labels: make(map[string]uint64),
+		data:   make(map[uint64][]byte),
+	}
+	if err := a.pass(false); err != nil {
+		return nil, err
+	}
+	if err := a.pass(true); err != nil {
+		return nil, err
+	}
+	prog := &emu.Program{Name: name, Code: a.code, Symbols: a.labels}
+	for base, bytes := range a.data {
+		prog.Data = append(prog.Data, emu.Segment{Addr: base, Bytes: bytes})
+	}
+	entry, ok := a.labels["start"]
+	if ok {
+		prog.Entry = entry
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for known-good sources (the built-in
+// workloads); it panics on error.
+func MustAssemble(name, source string) *emu.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' || s[i] == '#' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// pass runs over the source once. With emit=false it only assigns label
+// values; with emit=true it generates code and data.
+func (a *assembler) pass(emit bool) error {
+	a.code = a.code[:0]
+	dataCursor := uint64(DefaultDataBase)
+	var dataSeg uint64 // current segment base
+	if emit {
+		a.data = make(map[uint64][]byte)
+	}
+	dataSeg = dataCursor
+
+	for ln, raw := range a.lines {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+
+		// Labels: "name:" possibly followed by an instruction.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:idx])
+			if !isIdent(label) {
+				return &Error{lineNo, fmt.Sprintf("invalid label %q", label)}
+			}
+			if !emit {
+				if _, dup := a.labels[label]; dup {
+					return &Error{lineNo, fmt.Sprintf("duplicate label %q", label)}
+				}
+				a.labels[label] = uint64(len(a.code))
+			}
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(lineNo, line, emit, &dataCursor, &dataSeg); err != nil {
+				return err
+			}
+			continue
+		}
+
+		inst, err := a.instruction(lineNo, line, emit)
+		if err != nil {
+			return err
+		}
+		a.code = append(a.code, inst)
+	}
+	return nil
+}
+
+func (a *assembler) directive(lineNo int, line string, emit bool, cursor, seg *uint64) error {
+	fields := strings.Fields(line)
+	dir := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, dir))
+	switch dir {
+	case ".org":
+		v, err := a.immediate(lineNo, rest, emit)
+		if err != nil {
+			return err
+		}
+		*cursor = uint64(v)
+		*seg = *cursor
+	case ".data":
+		if !isIdent(rest) {
+			return &Error{lineNo, fmt.Sprintf(".data needs a label name, got %q", rest)}
+		}
+		if !emit {
+			if _, dup := a.labels[rest]; dup {
+				return &Error{lineNo, fmt.Sprintf("duplicate label %q", rest)}
+			}
+			a.labels[rest] = *cursor
+		}
+	case ".quad":
+		for _, part := range splitOperands(rest) {
+			v, err := a.immediate(lineNo, part, emit)
+			if err != nil {
+				return err
+			}
+			if emit {
+				var b [8]byte
+				u := uint64(v)
+				for i := 0; i < 8; i++ {
+					b[i] = byte(u)
+					u >>= 8
+				}
+				a.appendData(*seg, *cursor, b[:])
+			}
+			*cursor += 8
+		}
+	case ".space":
+		v, err := a.immediate(lineNo, rest, emit)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return &Error{lineNo, ".space size must be non-negative"}
+		}
+		if emit {
+			a.appendData(*seg, *cursor, make([]byte, v))
+		}
+		*cursor += uint64(v)
+	default:
+		return &Error{lineNo, fmt.Sprintf("unknown directive %q", dir)}
+	}
+	return nil
+}
+
+func (a *assembler) appendData(seg, cursor uint64, b []byte) {
+	buf := a.data[seg]
+	off := cursor - seg
+	need := int(off) + len(b)
+	if need > len(buf) {
+		nb := make([]byte, need)
+		copy(nb, buf)
+		buf = nb
+	}
+	copy(buf[off:], b)
+	a.data[seg] = buf
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero":  isa.ZeroReg,
+	"fzero": isa.FZeroReg,
+	"sp":    isa.IntReg(30),
+	"ra":    isa.IntReg(26),
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'f') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			if s[0] == 'r' {
+				return isa.IntReg(n), true
+			}
+			return isa.FPReg(n), true
+		}
+	}
+	return isa.NoReg, false
+}
+
+// immediate parses an integer literal or label reference. During pass 1
+// (emit=false) unresolved labels evaluate to 0.
+func (a *assembler) immediate(lineNo int, s string, emit bool) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, &Error{lineNo, "missing immediate"}
+	}
+	if isIdent(s) {
+		if _, isReg := parseReg(s); isReg {
+			return 0, &Error{lineNo, fmt.Sprintf("expected immediate, got register %q", s)}
+		}
+		v, ok := a.labels[s]
+		if !ok {
+			if !emit {
+				return 0, nil // resolved on pass 2
+			}
+			return 0, &Error{lineNo, fmt.Sprintf("undefined label %q", s)}
+		}
+		return int64(v), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex constants.
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, &Error{lineNo, fmt.Sprintf("bad immediate %q", s)}
+	}
+	return v, nil
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for i := 0; i < isa.NumOps; i++ {
+		op := isa.Op(i)
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// memOperand parses "[reg]" or "[reg+disp]" / "[reg-disp]".
+func (a *assembler) memOperand(lineNo int, s string, emit bool) (isa.Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return isa.NoReg, 0, &Error{lineNo, fmt.Sprintf("bad memory operand %q", s)}
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, dispPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i >= 0 {
+		regPart, dispPart = inner[:i], inner[i+1:]
+		if inner[i] == '-' {
+			sign = -1
+		}
+	}
+	r, ok := parseReg(strings.TrimSpace(regPart))
+	if !ok {
+		return isa.NoReg, 0, &Error{lineNo, fmt.Sprintf("bad base register in %q", s)}
+	}
+	var disp int64
+	if dispPart != "" {
+		v, err := a.immediate(lineNo, dispPart, emit)
+		if err != nil {
+			return isa.NoReg, 0, err
+		}
+		disp = sign * v
+	}
+	return r, disp, nil
+}
+
+// instruction parses one instruction line.
+func (a *assembler) instruction(lineNo int, line string, emit bool) (isa.Inst, error) {
+	bad := func(format string, args ...any) (isa.Inst, error) {
+		return isa.Inst{}, &Error{lineNo, fmt.Sprintf(format, args...)}
+	}
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	op, ok := opByName[strings.ToLower(mnemonic)]
+	if !ok {
+		return bad("unknown mnemonic %q", mnemonic)
+	}
+
+	// Split "operands -> destination".
+	var dstPart string
+	opndPart := rest
+	if i := strings.Index(rest, "->"); i >= 0 {
+		opndPart = strings.TrimSpace(rest[:i])
+		dstPart = strings.TrimSpace(rest[i+2:])
+	}
+	opnds := splitOperands(opndPart)
+
+	in := isa.Inst{Op: op, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg}
+
+	parseDstReg := func() error {
+		r, ok := parseReg(dstPart)
+		if !ok {
+			return &Error{lineNo, fmt.Sprintf("%s needs a register destination, got %q", op, dstPart)}
+		}
+		in.Dst = r
+		return nil
+	}
+
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		if rest != "" {
+			return bad("%s takes no operands", op)
+		}
+		return in, nil
+
+	case op == isa.LDI:
+		if len(opnds) != 1 || dstPart == "" {
+			return bad("usage: ldi imm -> reg")
+		}
+		v, err := a.immediate(lineNo, opnds[0], emit)
+		if err != nil {
+			return in, err
+		}
+		in.Imm, in.HasImm = v, true
+		if err := parseDstReg(); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case op == isa.MOV || op == isa.FMOV || op == isa.FNEG || op == isa.ITOF || op == isa.FTOI:
+		if len(opnds) != 1 || dstPart == "" {
+			return bad("usage: %s reg -> reg", op)
+		}
+		r, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("%s needs a register source, got %q", op, opnds[0])
+		}
+		in.SrcA = r
+		if err := parseDstReg(); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case op.IsLoad():
+		if len(opnds) != 1 || dstPart == "" {
+			return bad("usage: %s [base+disp] -> reg", op)
+		}
+		base, disp, err := a.memOperand(lineNo, opnds[0], emit)
+		if err != nil {
+			return in, err
+		}
+		in.SrcA, in.Imm, in.HasImm = base, disp, true
+		if err := parseDstReg(); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case op.IsStore():
+		if len(opnds) != 1 || dstPart == "" {
+			return bad("usage: %s reg -> [base+disp]", op)
+		}
+		src, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("%s needs a register source, got %q", op, opnds[0])
+		}
+		base, disp, err := a.memOperand(lineNo, dstPart, emit)
+		if err != nil {
+			return in, err
+		}
+		in.SrcA, in.SrcB, in.Imm, in.HasImm = base, src, disp, true
+		return in, nil
+
+	case op.IsCondBranch():
+		if len(opnds) != 2 || dstPart != "" {
+			return bad("usage: %s reg, target", op)
+		}
+		r, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("%s needs a register, got %q", op, opnds[0])
+		}
+		tgt, err := a.immediate(lineNo, opnds[1], emit)
+		if err != nil {
+			return in, err
+		}
+		in.SrcA, in.Imm, in.HasImm = r, tgt, true
+		return in, nil
+
+	case op == isa.BR:
+		if len(opnds) != 1 || dstPart != "" {
+			return bad("usage: br target")
+		}
+		tgt, err := a.immediate(lineNo, opnds[0], emit)
+		if err != nil {
+			return in, err
+		}
+		in.Imm, in.HasImm = tgt, true
+		return in, nil
+
+	case op == isa.JSR:
+		if len(opnds) != 2 || dstPart != "" {
+			return bad("usage: jsr linkreg, target")
+		}
+		r, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("jsr needs a link register, got %q", opnds[0])
+		}
+		tgt, err := a.immediate(lineNo, opnds[1], emit)
+		if err != nil {
+			return in, err
+		}
+		in.Dst, in.Imm, in.HasImm = r, tgt, true
+		return in, nil
+
+	case op == isa.JMP:
+		if len(opnds) != 1 || dstPart != "" {
+			return bad("usage: jmp reg")
+		}
+		r, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("jmp needs a register, got %q", opnds[0])
+		}
+		in.SrcA = r
+		return in, nil
+
+	default:
+		// Three-operand ALU: "op a, b -> dst" where b is reg or imm.
+		if len(opnds) != 2 || dstPart == "" {
+			return bad("usage: %s a, b -> dst", op)
+		}
+		ra, ok := parseReg(opnds[0])
+		if !ok {
+			return bad("%s needs a register first operand, got %q", op, opnds[0])
+		}
+		in.SrcA = ra
+		if rb, ok := parseReg(opnds[1]); ok {
+			in.SrcB = rb
+		} else {
+			v, err := a.immediate(lineNo, opnds[1], emit)
+			if err != nil {
+				return in, err
+			}
+			in.Imm, in.HasImm = v, true
+		}
+		if err := parseDstReg(); err != nil {
+			return in, err
+		}
+		return in, nil
+	}
+}

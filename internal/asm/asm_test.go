@@ -1,0 +1,327 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; sum integers 1..10
+start:
+    ldi 10 -> r1
+    ldi 0 -> r2
+loop:
+    add r2, r1 -> r2
+    sub r1, 1 -> r1
+    bne r1, loop
+    halt
+`
+	p, err := Assemble("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 6 {
+		t.Fatalf("assembled %d instructions, want 6", len(p.Code))
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(2)); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestDataSegmentsAndLabels(t *testing.T) {
+	src := `
+start:
+    ldi table -> r1
+    ldq [r1+0] -> r2
+    ldq [r1+8] -> r3
+    ldq [r1+16] -> r4
+    ldi after -> r5
+    ldq [r5] -> r6
+    halt
+
+.org 0x20000
+.data table
+.quad 100, -2, 0x30
+.data after
+.quad table
+`
+	p, err := Assemble("data", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(1)); got != 0x20000 {
+		t.Errorf("table address = %#x, want 0x20000", got)
+	}
+	if got := m.Reg(isa.IntReg(2)); got != 100 {
+		t.Errorf("table[0] = %d", got)
+	}
+	if got := int64(m.Reg(isa.IntReg(3))); got != -2 {
+		t.Errorf("table[1] = %d", got)
+	}
+	if got := m.Reg(isa.IntReg(4)); got != 0x30 {
+		t.Errorf("table[2] = %#x", got)
+	}
+	if got := m.Reg(isa.IntReg(6)); got != 0x20000 {
+		t.Errorf("after[0] (label ref) = %#x, want 0x20000", got)
+	}
+}
+
+func TestSpaceDirective(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi tail -> r2
+    sub r2, r1 -> r3
+    halt
+.org 0x30000
+.data buf
+.space 256
+.data tail
+.quad 7
+`
+	p, err := Assemble("space", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(3)); got != 256 {
+		t.Errorf("tail-buf = %d, want 256", got)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	src := `
+start:
+    ldi 5 -> sp
+    add sp, zero -> r1
+    jsr ra, fn
+    halt
+fn:
+    jmp ra
+`
+	p, err := Assemble("alias", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(30)); got != 5 {
+		t.Errorf("sp = %d", got)
+	}
+	if got := m.Reg(isa.IntReg(1)); got != 5 {
+		t.Errorf("r1 = %d", got)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	src := `
+start:
+    ldi 3 -> r1
+    itof r1 -> f1
+    ldi 4 -> r2
+    itof r2 -> f2
+    fmul f1, f2 -> f3
+    fadd f3, f1 -> f3
+    ftoi f3 -> r3
+    fcmplt f1, f2 -> r4
+    halt
+`
+	p, err := Assemble("fp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(3)); got != 15 {
+		t.Errorf("3*4+3 = %d, want 15", got)
+	}
+	if got := m.Reg(isa.IntReg(4)); got != 1 {
+		t.Errorf("fcmplt = %d, want 1", got)
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	src := `
+start:
+    ldi 0x10010 -> r1
+    ldi 42 -> r2
+    stq r2 -> [r1-8]
+    ldq [r1-8] -> r3
+    halt
+`
+	p, err := Assemble("disp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(3)); got != 42 {
+		t.Errorf("r3 = %d, want 42", got)
+	}
+	if got := m.Mem.Load64(0x10008); got != 42 {
+		t.Errorf("mem = %d", got)
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	src := `
+start: ldi 1 -> r1
+loop: sub r1, 1 -> r1
+    bne r1, loop
+    halt
+`
+	p, err := Assemble("inline", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Errorf("assembled %d instructions, want 4", len(p.Code))
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := `
+start:          ; semicolon comment
+    ldi 1 -> r1 # hash comment
+    halt
+`
+	if _, err := Assemble("comments", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frob r1, r2 -> r3", "unknown mnemonic"},
+		{"undefined label", "br nowhere", "undefined label"},
+		{"duplicate label", "a:\nnop\na:\nnop", "duplicate label"},
+		{"bad register", "add r99, r1 -> r2", "needs a register first operand"},
+		{"missing dst", "add r1, r2", "usage"},
+		{"bad mem operand", "ldq r1 -> r2", "bad memory operand"},
+		{"halt with operands", "halt r1", "takes no operands"},
+		{"bad directive", ".bogus 3", "unknown directive"},
+		{"negative space", ".space -1", "non-negative"},
+		{"reg as immediate", "ldi r5 -> r1", "expected immediate"},
+		{"bad label chars", "9lbl:\nnop", "invalid label"},
+		{"jmp immediate", "jmp 5", "jmp needs a register"},
+		{"store reg dest", "stq r1 -> r2", "bad memory operand"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.name, c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorReportsLineNumber(t *testing.T) {
+	src := "nop\nnop\nfrob r1\n"
+	_, err := Assemble("line", src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v should name line 3", err)
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "frob")
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	src := `
+start:
+    ldi 0xFF -> r1
+    ldi -16 -> r2
+    add r1, r2 -> r3
+    halt
+`
+	p, err := Assemble("imm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(3)); got != 0xEF {
+		t.Errorf("r3 = %#x, want 0xEF", got)
+	}
+}
+
+func TestBranchTargetsResolveForward(t *testing.T) {
+	src := `
+start:
+    br skip
+    ldi 1 -> r1
+skip:
+    halt
+`
+	p, err := Assemble("fwd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.RunProgram(p, 0)
+	if got := m.Reg(isa.IntReg(1)); got != 0 {
+		t.Errorf("r1 = %d, branch did not skip", got)
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	src := `
+start:
+    nop
+fn:
+    halt
+.org 0x30000
+.data table
+.quad 1
+.data after
+.quad 2
+`
+	p, err := Assemble("sym", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want uint64
+	}{
+		{"start", 0},
+		{"fn", 1},
+		{"table", 0x30000},
+		{"after", 0x30008},
+	}
+	for _, c := range cases {
+		got, ok := p.Symbol(c.name)
+		if !ok || got != c.want {
+			t.Errorf("Symbol(%q) = %#x, %v; want %#x", c.name, got, ok, c.want)
+		}
+	}
+	if _, ok := p.Symbol("missing"); ok {
+		t.Error("Symbol should miss for undefined labels")
+	}
+}
+
+func TestEntryDefaultsToZeroWithoutStart(t *testing.T) {
+	p, err := Assemble("nostart", "nop\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}

@@ -1,0 +1,71 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Format renders a program back into assemble-able source: one line per
+// instruction (branch targets as absolute indices, which the assembler
+// accepts as immediates) followed by the data segments as .org/.quad
+// blocks. Assemble(Format(p)) reproduces p's code and initial memory —
+// see the round-trip test.
+func Format(p *emu.Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "; program %q\n", p.Name)
+	}
+	if p.Entry != 0 {
+		// The assembler derives the entry from a "start" label; emit a
+		// leading branch so entry semantics survive the round trip.
+		fmt.Fprintf(&b, "; entry at %d\n", p.Entry)
+	}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		fmt.Fprintf(&b, "    %s\n", formatInst(in))
+	}
+	segs := make([]emu.Segment, len(p.Data))
+	copy(segs, p.Data)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	for _, s := range segs {
+		fmt.Fprintf(&b, "\n.org %#x\n", s.Addr)
+		writeBytesAsQuads(&b, s.Bytes)
+	}
+	return b.String()
+}
+
+// formatInst is isa.Inst.String in the assembler's input grammar (the
+// only difference: branch targets print as bare integers, not "@n").
+func formatInst(in *isa.Inst) string {
+	switch {
+	case in.Op.IsCondBranch():
+		return fmt.Sprintf("%s %s, %d", in.Op, in.SrcA, in.Imm)
+	case in.Op == isa.BR:
+		return fmt.Sprintf("br %d", in.Imm)
+	case in.Op == isa.JSR:
+		return fmt.Sprintf("jsr %s, %d", in.Dst, in.Imm)
+	default:
+		return in.String()
+	}
+}
+
+func writeBytesAsQuads(b *strings.Builder, data []byte) {
+	// Pad to a whole number of quads; trailing zero bytes are already
+	// the memory default.
+	n := (len(data) + 7) / 8
+	for i := 0; i < n; i++ {
+		var v uint64
+		for j := 7; j >= 0; j-- {
+			idx := i*8 + j
+			v <<= 8
+			if idx < len(data) {
+				v |= uint64(data[idx])
+			}
+		}
+		fmt.Fprintf(b, ".quad %d\n", v)
+	}
+}

@@ -1,0 +1,186 @@
+// Package cache implements the set-associative cache hierarchy of the
+// simulated machine. The timing model only needs access *latencies* (the
+// data values come from the oracle), so caches here track tags and LRU
+// state and report hit/miss latency per access.
+//
+// The default hierarchy matches Table 2 of the paper:
+//
+//	L1 I: 64 KB, 4-way, 64 B lines, 1 cycle
+//	L1 D: 32 KB, 2-way, 32 B lines, 2 ports, 2 cycles
+//	L2:   1 MB, 2-way, 128 B lines, 10 cycles (unified)
+//	Mem:  100 cycles
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	SizeB   int // total size in bytes
+	Assoc   int // ways
+	LineB   int // line size in bytes
+	Latency uint64
+}
+
+// Cache is one set-associative, LRU, allocate-on-miss cache level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	tags     [][]uint64 // [set][way]
+	valid    [][]bool
+	lru      [][]uint8 // lower is more recently used
+
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache level. It panics on non-power-of-two geometry, which
+// indicates a configuration bug rather than a runtime condition.
+func New(cfg Config) *Cache {
+	if cfg.SizeB <= 0 || cfg.Assoc <= 0 || cfg.LineB <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
+	}
+	sets := cfg.SizeB / (cfg.Assoc * cfg.LineB)
+	if sets <= 0 || sets&(sets-1) != 0 || cfg.LineB&(cfg.LineB-1) != 0 {
+		panic(fmt.Sprintf("cache %s: non-power-of-two geometry %+v", cfg.Name, cfg))
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	for c.cfg.LineB>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint8, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+		c.lru[i] = make([]uint8, cfg.Assoc)
+		for w := range c.lru[i] {
+			c.lru[i][w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineBits
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+func (c *Cache) touch(set, way int) {
+	old := c.lru[set][way]
+	for w := range c.lru[set] {
+		if c.lru[set][w] < old {
+			c.lru[set][w]++
+		}
+	}
+	c.lru[set][way] = 0
+}
+
+// Access looks up addr, allocating the line on a miss (LRU victim), and
+// reports whether it hit. Timing is the caller's concern via Latency().
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.touch(set, w)
+			return true
+		}
+	}
+	c.Misses++
+	// Allocate into the LRU way.
+	victim := 0
+	for w := range c.lru[set] {
+		if c.lru[set][w] == uint8(c.cfg.Assoc-1) {
+			victim = w
+			break
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.touch(set, victim)
+	return false
+}
+
+// Probe reports whether addr is resident without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Latency returns the level's access latency in cycles.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Hierarchy bundles the L1 instruction, L1 data and unified L2 caches
+// with the memory latency behind them.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	MemLatency   uint64
+}
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   uint64
+}
+
+// DefaultHierarchyConfig reproduces Table 2.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", SizeB: 64 << 10, Assoc: 4, LineB: 64, Latency: 1},
+		L1D:        Config{Name: "L1D", SizeB: 32 << 10, Assoc: 2, LineB: 32, Latency: 2},
+		L2:         Config{Name: "L2", SizeB: 1 << 20, Assoc: 2, LineB: 128, Latency: 10},
+		MemLatency: 100,
+	}
+}
+
+// NewHierarchy builds the three-level hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:        New(cfg.L1I),
+		L1D:        New(cfg.L1D),
+		L2:         New(cfg.L2),
+		MemLatency: cfg.MemLatency,
+	}
+}
+
+// InstFetch returns the latency of fetching the instruction line at addr.
+func (h *Hierarchy) InstFetch(addr uint64) uint64 {
+	if h.L1I.Access(addr) {
+		return h.L1I.Latency()
+	}
+	if h.L2.Access(addr) {
+		return h.L1I.Latency() + h.L2.Latency()
+	}
+	return h.L1I.Latency() + h.L2.Latency() + h.MemLatency
+}
+
+// DataAccess returns the latency of a load/store to addr.
+func (h *Hierarchy) DataAccess(addr uint64) uint64 {
+	if h.L1D.Access(addr) {
+		return h.L1D.Latency()
+	}
+	if h.L2.Access(addr) {
+		return h.L1D.Latency() + h.L2.Latency()
+	}
+	return h.L1D.Latency() + h.L2.Latency() + h.MemLatency
+}

@@ -1,0 +1,51 @@
+package core
+
+import "repro/internal/isa"
+
+// HardwareBudget itemizes the optimizer's storage cost in bits,
+// following §2.5.2 of the paper: "the continuous optimization tables
+// require approximately 2K to 4K bytes of storage: the CP/RA tables
+// require one entry per integer architectural register, and each entry
+// contains approximately 100-150 bits ... The RLE/SF stage also requires
+// a small cache, which we model as consisting of 128 entries, each
+// requiring approximately 100-150 bits."
+type HardwareBudget struct {
+	// CPRAEntries and CPRAEntryBits size the symbolic RAT extension.
+	CPRAEntries   int
+	CPRAEntryBits int
+	// MBCEntries and MBCEntryBits size the Memory Bypass Cache.
+	MBCEntries   int
+	MBCEntryBits int
+}
+
+// Budget computes the storage the configured optimizer would require.
+// Entry layouts follow this implementation's fields:
+//
+//	CP/RA entry: base preg tag (9b for <=512 pregs) + 2b scale +
+//	             64b offset/value + known bit + valid bit       = 77 bits,
+//	             plus the 64-bit "base register value" field the paper
+//	             carries for constants                           -> 141 bits
+//	MBC entry:   address tag (usually ~40 significant bits) + 3b size/
+//	             offset + payload preg tag + symbolic value      = 117 bits
+func (c Config) Budget() HardwareBudget {
+	entries := c.MBCEntries
+	if entries <= 0 {
+		entries = 128
+	}
+	b := HardwareBudget{
+		CPRAEntries:   isa.NumIntRegs,
+		CPRAEntryBits: 141,
+		MBCEntries:    entries,
+		MBCEntryBits:  117,
+	}
+	if c.Mode != ModeFull {
+		b.MBCEntries = 0
+	}
+	return b
+}
+
+// TotalBytes returns the whole budget in bytes.
+func (b HardwareBudget) TotalBytes() int {
+	bits := b.CPRAEntries*b.CPRAEntryBits + b.MBCEntries*b.MBCEntryBits
+	return (bits + 7) / 8
+}

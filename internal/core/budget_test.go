@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestDefaultBudgetMatchesPaperBand(t *testing.T) {
+	// §2.5.2: "approximately 2K to 4K bytes of additional multiported
+	// storage".
+	b := DefaultConfig().Budget()
+	total := b.TotalBytes()
+	if total < 2<<10 || total > 4<<10 {
+		t.Errorf("default optimizer budget %d bytes; the paper claims 2KB-4KB", total)
+	}
+	if b.CPRAEntries != 32 {
+		t.Errorf("CP/RA entries = %d, want one per integer architectural register", b.CPRAEntries)
+	}
+	if b.MBCEntries != 128 {
+		t.Errorf("MBC entries = %d, want Table 2's 128", b.MBCEntries)
+	}
+}
+
+func TestBudgetScalesWithMBC(t *testing.T) {
+	small := DefaultConfig()
+	small.MBCEntries = 32
+	big := DefaultConfig()
+	big.MBCEntries = 256
+	if small.Budget().TotalBytes() >= big.Budget().TotalBytes() {
+		t.Error("budget should grow with MBC capacity")
+	}
+}
+
+func TestFeedbackOnlyBudgetHasNoMBC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeFeedbackOnly
+	if cfg.Budget().MBCEntries != 0 {
+		t.Error("feedback-only hardware has no Memory Bypass Cache")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+// Mode selects how much of the optimizer is active.
+type Mode int
+
+// Optimizer modes.
+const (
+	// ModeBaseline performs plain register renaming only — the machine
+	// without continuous optimization (and without the extra rename
+	// stages; the pipeline accounts for those).
+	ModeBaseline Mode = iota
+	// ModeFeedbackOnly propagates values fed back from the execution
+	// units (eager bypass into rename) and early-executes instructions
+	// whose inputs are all known, but performs no symbolic optimization:
+	// no reassociation, no MBC, no inference (Figure 9's "feedback" bar).
+	ModeFeedbackOnly
+	// ModeFull is continuous optimization: CP, RA, RLE, SF, value
+	// feedback, and the minor optimizations.
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeFeedbackOnly:
+		return "feedback-only"
+	case ModeFull:
+		return "full"
+	}
+	return "mode?"
+}
+
+// StorePolicy selects how the Memory Bypass Cache reacts to a store whose
+// address is unknown at rename (§3.2 of the paper).
+type StorePolicy int
+
+// Store policies.
+const (
+	// StoreSpeculate leaves the MBC intact and relies on verification to
+	// squash forwarding from entries the store may have clobbered — the
+	// paper's default.
+	StoreSpeculate StorePolicy = iota
+	// StoreFlush invalidates the whole MBC for consistency.
+	StoreFlush
+)
+
+func (s StorePolicy) String() string {
+	if s == StoreFlush {
+		return "flush"
+	}
+	return "speculate"
+}
+
+// Config parameterizes the optimizer. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Mode selects baseline renaming, feedback-only, or full optimization.
+	Mode Mode
+	// DepDepth is the number of *chained* additions beyond the first that
+	// may be processed within one rename bundle (§6.2: the default
+	// machine evaluates "a single level of addition", i.e. DepDepth 0;
+	// Figure 10 sweeps 0/1/3).
+	DepDepth int
+	// ChainedMem is the number of loads per bundle that may consume MBC
+	// state produced earlier in the same bundle (Figure 10's "1 mem").
+	ChainedMem int
+	// MBCEntries sizes the Memory Bypass Cache (Table 2: 128).
+	MBCEntries int
+	// StorePolicy picks the unknown-address-store policy.
+	StorePolicy StorePolicy
+	// StrengthReduce converts multiplies by powers of two into shifts.
+	StrengthReduce bool
+	// BranchInference assumes a register's exact value when a branch
+	// direction implies it (taken beq => zero).
+	BranchInference bool
+	// DiscreteWindow, when > 0, models the *offline* optimization
+	// frameworks of §3.4 (rePLay, PARROT, trace-cache fill units): the
+	// optimization tables are invalidated every DiscreteWindow renamed
+	// instructions, as they would be at the start of each trace or
+	// frame, and value feedback is disabled ("real-time value feedback
+	// for discrete optimization is more difficult"). Zero means
+	// continuous optimization.
+	DiscreteWindow int
+}
+
+// DefaultConfig returns the paper's default optimizer: full optimization,
+// single addition level per bundle, no chained memory, 128-entry MBC,
+// speculative store handling.
+func DefaultConfig() Config {
+	return Config{
+		Mode:            ModeFull,
+		DepDepth:        0,
+		ChainedMem:      0,
+		MBCEntries:      128,
+		StorePolicy:     StoreSpeculate,
+		StrengthReduce:  true,
+		BranchInference: true,
+	}
+}
+
+// Stats counts optimizer events; the harness aggregates these into the
+// paper's Table 3 percentages.
+type Stats struct {
+	// Renamed is the number of dynamic instructions processed.
+	Renamed uint64
+	// EarlyExecuted counts instructions fully executed in the optimizer
+	// (including collapsed moves and branches resolved at rename).
+	EarlyExecuted uint64
+	// BranchesResolved counts branches whose outcome was determined in
+	// the optimizer.
+	BranchesResolved uint64
+	// Reassociated counts instructions whose dependence was shifted to an
+	// earlier producer.
+	Reassociated uint64
+	// MovesCollapsed counts register moves eliminated by mapping the
+	// destination onto the producer's physical register.
+	MovesCollapsed uint64
+	// StrengthReduced counts multiplies converted to shifts.
+	StrengthReduced uint64
+	// Inferences counts branch-direction value inferences applied.
+	Inferences uint64
+	// MemOps, AddrKnown: loads+stores seen / with address generated in
+	// the optimizer.
+	MemOps    uint64
+	AddrKnown uint64
+	// Loads and LoadsRemoved: loads seen / converted to moves by RLE/SF.
+	Loads        uint64
+	LoadsRemoved uint64
+	// MBCHits/MBCStale: lookups that matched / matched but were stale
+	// because an unknown-address store intervened (squashed by the
+	// verification stage, modeled as a miss).
+	MBCHits  uint64
+	MBCStale uint64
+	// MBCFlushes counts whole-table invalidations under StoreFlush.
+	MBCFlushes uint64
+	// FeedbackApplied counts table entries converted to known constants
+	// by value feedback.
+	FeedbackApplied uint64
+	// DepthLimited counts optimizations skipped due to the per-bundle
+	// dependence-depth limit.
+	DepthLimited uint64
+	// ChainLimited counts MBC interactions skipped due to the chained-
+	// memory limit.
+	ChainLimited uint64
+	// TraceFlushes counts table invalidations at discrete-window
+	// boundaries (DiscreteWindow > 0 only).
+	TraceFlushes uint64
+	// DeadValues counts destination values that were overwritten without
+	// any in-pipeline consumer referencing their physical register — the
+	// §2.3 observation that optimization "substantially increases the
+	// fraction of dead instructions". The count is conservative: a value
+	// consumed only through a propagated constant is still counted as
+	// dead, because the out-of-order core no longer needs it.
+	DeadValues uint64
+	// DeadCandidates is the denominator: destination-writing
+	// instructions whose liveness was tracked.
+	DeadCandidates uint64
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// TestQuickDeriveSymMatchesConcreteEval is the core soundness property of
+// CP/RA: whenever deriveSym produces a symbolic destination, evaluating
+// that symbol under any base-register value must equal executing the
+// original instruction on the correspondingly evaluated operands.
+func TestQuickDeriveSymMatchesConcreteEval(t *testing.T) {
+	ops := []isa.Op{isa.ADD, isa.SUB, isa.SLL, isa.MOV}
+	f := func(opIdx uint8, baseVal, aOff, bOff uint64, aScale, bScale uint8, aKnown, bKnown bool) bool {
+		op := ops[int(opIdx)%len(ops)]
+		base := regfile.PReg(3)
+		mk := func(known bool, off uint64, scale uint8) SymVal {
+			if known {
+				return Const(off)
+			}
+			return SymVal{Base: base, Scale: scale % 4, Off: off}
+		}
+		a := mk(aKnown, aOff, aScale)
+		b := mk(bKnown, bOff, bScale)
+		if op == isa.SLL && b.Known {
+			b.Off &= 63 // shift amounts are mod 64 anyway; keep ranges sane
+		}
+		sym, ok := deriveSym(op, a, b)
+		if !ok {
+			return true // refusing is always sound
+		}
+		av, bv := a.Eval(baseVal), b.Eval(baseVal)
+		var want uint64
+		if op == isa.MOV {
+			want = av
+		} else {
+			want = emu.EvalALU(op, av, bv)
+		}
+		return sym.Eval(baseVal) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeriveSymRefusals pins the cases that must NOT be representable.
+func TestDeriveSymRefusals(t *testing.T) {
+	sym := SymVal{Base: 1, Scale: 2, Off: 5}
+	cases := []struct {
+		name string
+		op   isa.Op
+		a, b SymVal
+	}{
+		{"sub constant-minus-symbol", isa.SUB, Const(10), sym},
+		{"sub both symbolic", isa.SUB, sym, Sym(2)},
+		{"add both symbolic", isa.ADD, sym, Sym(2)},
+		{"sll scale overflow", isa.SLL, sym, Const(2)}, // 2+2 > 3
+		{"sll symbolic shift", isa.SLL, sym, Sym(2)},
+		{"and", isa.AND, sym, Const(1)},
+		{"xor", isa.XOR, sym, Const(1)},
+		{"mul", isa.MUL, sym, Const(3)},
+		{"cmpeq", isa.CMPEQ, sym, Const(1)},
+	}
+	for _, c := range cases {
+		if _, ok := deriveSym(c.op, c.a, c.b); ok {
+			t.Errorf("%s: deriveSym should refuse", c.name)
+		}
+	}
+}
+
+func TestMulByOneStrengthReduces(t *testing.T) {
+	// 1 is a power of two: mul x, 1 becomes sll x, 0 — a plain copy of
+	// the symbolic value.
+	src := loadUnknown + `
+    mul r10, 1 -> r11
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	res := dr.one()
+	if res.ExecClass != isa.ClassSimpleInt {
+		t.Errorf("mul by 1 should be simple after strength reduction: %+v", res)
+	}
+	if sym := dr.o.SymOf(isa.IntReg(11)); sym.Base != p10 || sym.Scale != 0 || sym.Off != 0 {
+		t.Errorf("r11 sym = %v, want plain p%d", sym, p10)
+	}
+}
+
+func TestStrengthReductionDisabled(t *testing.T) {
+	cfg := full()
+	cfg.StrengthReduce = false
+	src := loadUnknown + `
+    mul r10, 8 -> r11
+    halt
+` + dataSeg
+	dr := newDriver(t, cfg, src)
+	dr.bundle(2)
+	res := dr.one()
+	if res.ExecClass != isa.ClassComplexInt {
+		t.Errorf("with strength reduction off, mul stays complex: %+v", res)
+	}
+	if dr.o.Stats().StrengthReduced != 0 {
+		t.Error("StrengthReduced should be 0")
+	}
+}
+
+func TestBranchInferenceDisabled(t *testing.T) {
+	cfg := full()
+	cfg.BranchInference = false
+	src := loadUnknown + `
+    sub r10, 77 -> r10
+    bne r10, spin
+spin:
+    halt
+` + dataSeg
+	dr := newDriver(t, cfg, src)
+	dr.bundle(2)
+	dr.one()
+	dr.one()
+	if sym := dr.o.SymOf(isa.IntReg(10)); sym.Known {
+		t.Error("inference disabled: r10 must stay symbolic")
+	}
+	if dr.o.Stats().Inferences != 0 {
+		t.Error("Inferences should be 0")
+	}
+}
+
+func TestLoadToZeroRegisterEliminated(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2
+    ldq [r1] -> r31     ; architecturally discarded
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one()
+	dr.one()
+	res := dr.one()
+	if !res.LoadEliminated || res.Kind != KindEarly {
+		t.Errorf("load to zero reg should be trivially eliminated: %+v", res)
+	}
+	if res.Dest != regfile.NoPReg {
+		t.Error("zero-reg load must not allocate a destination")
+	}
+}
+
+func TestStoreOfZeroRegisterForwardsConstant(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    stq zero -> [r1+24]
+    ldq [r1+24] -> r2
+    add r2, 5 -> r3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one()
+	dr.one()
+	ld := dr.one()
+	if !ld.LoadEliminated || ld.Kind != KindEarly || ld.Value != 0 {
+		t.Errorf("forward of stored zero: %+v", ld)
+	}
+	add := dr.one()
+	if add.Kind != KindEarly || add.Value != 5 {
+		t.Errorf("consumer should run early on the forwarded zero: %+v", add)
+	}
+}
+
+func TestFPEntriesNeverTrackSymbols(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    fldq [r1] -> f1
+    fadd f1, f1 -> f2
+    fmov f2 -> f3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	for i := 0; i < 4; i++ {
+		dr.one()
+	}
+	for _, fr := range []isa.Reg{isa.FPReg(1), isa.FPReg(2), isa.FPReg(3)} {
+		sym := dr.o.SymOf(fr)
+		if sym.Known || !sym.IsPlain() {
+			t.Errorf("%v sym = %v, want plain (FP registers have no CP/RA entry)", fr, sym)
+		}
+	}
+	// FP arithmetic never executes early...
+	if got := dr.o.Stats().EarlyExecuted; got != 1 { // only the ldi
+		t.Errorf("EarlyExecuted = %d, want 1 (just the ldi)", got)
+	}
+	// ...but the FP move still collapses (pure renaming).
+	if dr.o.Stats().MovesCollapsed != 1 {
+		t.Errorf("MovesCollapsed = %d, want 1", dr.o.Stats().MovesCollapsed)
+	}
+}
+
+func TestMBCFeedbackConvertsEntries(t *testing.T) {
+	src := loadUnknown + `
+    stq r10 -> [r9+8]
+    ldq [r9+8] -> r11
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.one() // store installs symbolic MBC entry referencing p10
+	dr.o.Feedback(p10, 77)
+	ld := dr.one()
+	if ld.Kind != KindEarly || ld.Value != 77 {
+		t.Errorf("after feedback the MBC entry should forward a known 77: %+v", ld)
+	}
+}
+
+func TestFPLoadElimination(t *testing.T) {
+	// FLDQ participates in RLE/SF exactly like LDQ: addresses are
+	// integer chains, and the forwarded datum is an FP preg alias.
+	src := `
+start:
+    ldi buf -> r1
+    fldq [r1] -> f1
+    nop
+    nop
+    nop
+    fldq [r1] -> f2
+    fadd f1, f2 -> f3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one()
+	first := dr.one()
+	if first.LoadEliminated {
+		t.Fatal("first FP load must miss")
+	}
+	dr.bundle(3)
+	second := dr.one()
+	if !second.LoadEliminated || second.Kind != KindElim || second.Dest != first.Dest {
+		t.Errorf("second FP load should alias the first: %+v vs dest %d", second, first.Dest)
+	}
+	add := dr.one()
+	if add.Kind != KindNormal || len(add.Deps) != 2 ||
+		add.Deps[0] != first.Dest || add.Deps[1] != first.Dest {
+		t.Errorf("fadd's two operands should both resolve to the shared preg: %+v", add)
+	}
+}
+
+func TestMBCConflictEviction(t *testing.T) {
+	// Two addresses 1KB apart map to the same entry of the 128-entry
+	// direct-mapped MBC; loading the second evicts the first.
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2
+    nop
+    nop
+    nop
+    ldq [r1+1024] -> r3   ; same MBC index, different tag
+    nop
+    nop
+    nop
+    ldq [r1] -> r4        ; first entry was evicted: no elimination
+    halt
+.org 0x40000
+.data buf
+.quad 7
+.space 1016
+.quad 9
+`
+	dr := newDriver(t, full(), src)
+	for !dr.m.Halted() {
+		dr.one()
+	}
+	st := dr.o.Stats()
+	if st.LoadsRemoved != 0 {
+		t.Errorf("LoadsRemoved = %d, want 0 (conflict evictions)", st.LoadsRemoved)
+	}
+	dr.retireAll()
+	dr.o.ReleaseAll()
+	if live := dr.prf.LiveCount(); live != 0 {
+		t.Errorf("%d pregs leaked through MBC evictions", live)
+	}
+}
+
+func TestRenameRejectsWhenFileFull(t *testing.T) {
+	prog, err := asm.Assemble("tiny", "start:\n ldi 1 -> r1\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 62 initial mappings fill a 62-entry file completely.
+	prf := regfile.New(62)
+	o := NewOptimizer(DefaultConfig(), prf)
+	if o.CanRename() {
+		t.Error("CanRename should be false with no free pregs")
+	}
+	_ = prog
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/regfile"
+)
+
+// Example_figure4 walks the paper's motivating example (§2.4, Figure 4):
+// a loop summing an array, whose trip count "is initialized to some
+// value that is not statically computable". It shows the three stages
+// the paper narrates — symbolic reassociation of the loop-carried
+// chains, value feedback converting them to constants, and finally whole
+// iterations executing inside the optimizer.
+func Example_figure4() {
+	prog := asm.MustAssemble("figure4", `
+start:
+    ldi ctr -> r29
+    ldq [r29] -> r1        ; loop counter (ld [r29] -> r1 in the paper)
+    ldi arr -> r30
+    ldq [r30] -> r4        ; running sum seed (ld [r30] -> r4)
+loop:
+    ldq [r30+8] -> r2      ; array element
+    add r4, r2 -> r4       ; sum += element
+    add r30, 8 -> r30      ; next index
+    sub r1, 1 -> r1        ; decrement counter
+    bne r1, loop
+    halt
+.org 0x20000
+.data ctr
+.quad 100
+.data arr
+.quad 0
+.space 1600
+`)
+	m := emu.New(prog)
+	prf := regfile.New(512)
+	opt := core.NewOptimizer(core.DefaultConfig(), prf)
+
+	// Rename the first loop iteration: the counter and index chains
+	// reassociate onto the initial loads' physical registers.
+	var results []core.RenameResult
+	rename := func(n int) {
+		for i := 0; i < n; i++ {
+			opt.BeginBundle() // one instruction per bundle, for clarity
+			d := m.Step()
+			r := opt.Rename(d)
+			results = append(results, r)
+			// Retire immediately (release the in-flight references).
+			prf.Release(r.Dest)
+			for _, p := range r.Deps {
+				prf.Release(p)
+			}
+		}
+	}
+	rename(4 + 5) // prologue + first iteration
+
+	counterSym := opt.SymOf(1) // r1
+	fmt.Printf("after iteration 1: r1 is symbolic (known=%v), reassociated onto the load\n", counterSym.Known)
+	fmt.Printf("  counter chain reassociations: %d (the index chain is already a known constant)\n",
+		opt.Stats().Reassociated)
+
+	// The initial loads complete; their values feed back into the
+	// tables (value feedback, §2.2).
+	opt.Feedback(opt.SymOf(1).Base, 100) // counter load produced 100
+	fmt.Printf("after feedback: r1 is known = %v\n", opt.SymOf(1).Known)
+
+	// Subsequent iterations: the index, counter and branch all execute
+	// in the optimizer; only the data-dependent accumulate remains.
+	before := opt.Stats().EarlyExecuted
+	rename(5 * 3) // three more iterations
+	fmt.Printf("iterations 2-4: %d of 15 instructions executed early, %d branches resolved at rename\n",
+		opt.Stats().EarlyExecuted-before, opt.Stats().BranchesResolved)
+
+	// Output:
+	// after iteration 1: r1 is symbolic (known=false), reassociated onto the load
+	//   counter chain reassociations: 1 (the index chain is already a known constant)
+	// after feedback: r1 is known = true
+	// iterations 2-4: 9 of 15 instructions executed early, 3 branches resolved at rename
+	_ = results
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDiscreteWindowFlushesTables(t *testing.T) {
+	// Two passes over an MBC-resident word: continuous mode eliminates
+	// the second pass's load; a 4-instruction discrete window flushes
+	// the table before it can.
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2
+    ldq [r1] -> r3
+    nop
+    nop
+    ldq [r1] -> r4
+    halt
+` + dataSeg
+	cont := newDriver(t, full(), src)
+	for !cont.m.Halted() {
+		cont.one()
+	}
+	if cont.o.Stats().LoadsRemoved != 2 {
+		t.Errorf("continuous: loads removed = %d, want 2", cont.o.Stats().LoadsRemoved)
+	}
+
+	cfg := full()
+	cfg.DiscreteWindow = 4
+	disc := newDriver(t, cfg, src)
+	for !disc.m.Halted() {
+		disc.one()
+	}
+	st := disc.o.Stats()
+	if st.TraceFlushes == 0 {
+		t.Fatal("discrete mode never flushed")
+	}
+	// The second load (inside the first window) is eliminated; the third
+	// (after a flush, and after r1's symbolic value was discarded) isn't.
+	if st.LoadsRemoved != 1 {
+		t.Errorf("discrete: loads removed = %d, want 1", st.LoadsRemoved)
+	}
+}
+
+func TestDiscreteWindowDisablesFeedback(t *testing.T) {
+	cfg := full()
+	cfg.DiscreteWindow = 1000
+	dr := newDriver(t, cfg, loadUnknown+" halt\n"+dataSeg)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.o.Feedback(p10, 77)
+	if sym := dr.o.SymOf(isa.IntReg(10)); sym.Known {
+		t.Error("discrete mode must ignore value feedback (§3.4)")
+	}
+	if dr.o.Stats().FeedbackApplied != 0 {
+		t.Error("FeedbackApplied should stay zero in discrete mode")
+	}
+}
+
+func TestDiscreteModeNoLeaks(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi 20 -> r2
+loop:
+    ldq [r1] -> r3
+    add r3, 1 -> r4
+    stq r4 -> [r1+8]
+    mov r4 -> r5
+    sub r2, 1 -> r2
+    bne r2, loop
+    halt
+` + dataSeg
+	cfg := full()
+	cfg.DiscreteWindow = 7
+	dr := newDriver(t, cfg, src)
+	for !dr.m.Halted() {
+		dr.bundle(1)
+	}
+	dr.retireAll()
+	dr.o.ReleaseAll()
+	if live := dr.prf.LiveCount(); live != 0 {
+		t.Errorf("%d pregs leaked in discrete mode", live)
+	}
+}
+
+func TestDeadValueTracking(t *testing.T) {
+	// r2's first value is consumed (by the add); its second value is
+	// overwritten without any consumer -> one dead value.
+	src := `
+start:
+    ldi buf -> r9
+    ldq [r9] -> r10
+    add r10, 1 -> r2
+    add r2, 1 -> r3
+    add r10, 2 -> r2
+    add r10, 3 -> r2
+    halt
+` + dataSeg
+	// Baseline mode: every consumer takes a preg dependence, so dead
+	// counting reflects pure architectural deadness.
+	cfg := Config{Mode: ModeBaseline}
+	dr := newDriver(t, cfg, src)
+	for !dr.m.Halted() {
+		dr.one()
+	}
+	st := dr.o.Stats()
+	if st.DeadValues != 1 {
+		t.Errorf("baseline dead values = %d, want 1 (the overwritten r2)", st.DeadValues)
+	}
+	if st.DeadCandidates < 5 {
+		t.Errorf("candidates = %d, want >= 5", st.DeadCandidates)
+	}
+}
+
+func TestOptimizationIncreasesDeadValues(t *testing.T) {
+	// A counter loop: with optimization the sub/bne chain runs early on
+	// propagated constants, so the subs' register results go unread.
+	src := `
+start:
+    ldi 30 -> r2
+loop:
+    sub r2, 1 -> r2
+    bne r2, loop
+    halt
+`
+	count := func(cfg Config) (dead, cand uint64) {
+		dr := newDriver(t, cfg, src)
+		for !dr.m.Halted() {
+			dr.one()
+		}
+		return dr.o.Stats().DeadValues, dr.o.Stats().DeadCandidates
+	}
+	bd, _ := count(Config{Mode: ModeBaseline})
+	od, _ := count(full())
+	if od <= bd {
+		t.Errorf("optimization should increase dead values: baseline %d, optimized %d", bd, od)
+	}
+}

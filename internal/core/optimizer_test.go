@@ -1,0 +1,663 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// driver feeds an assembled program through the emulator and optimizer,
+// collecting rename results and simulating retirement (reference release)
+// on demand.
+type driver struct {
+	t    *testing.T
+	m    *emu.Machine
+	o    *Optimizer
+	prf  *regfile.File
+	held []regfile.PReg
+	last []RenameResult
+}
+
+func newDriver(t *testing.T, cfg Config, src string) *driver {
+	t.Helper()
+	prog, err := asm.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := regfile.New(512)
+	return &driver{t: t, m: emu.New(prog), o: NewOptimizer(cfg, prf), prf: prf}
+}
+
+// bundle renames the next n dynamic instructions as one rename bundle and
+// returns their results.
+func (dr *driver) bundle(n int) []RenameResult {
+	dr.t.Helper()
+	dr.o.BeginBundle()
+	out := make([]RenameResult, 0, n)
+	for i := 0; i < n; i++ {
+		d := dr.m.Step()
+		if d == nil {
+			dr.t.Fatal("program halted early")
+		}
+		if !dr.o.CanRename() {
+			dr.t.Fatal("register file exhausted")
+		}
+		res := dr.o.Rename(d)
+		dr.held = append(dr.held, res.Dest)
+		dr.held = append(dr.held, res.Deps...)
+		out = append(out, res)
+	}
+	dr.last = out
+	return out
+}
+
+// one renames a single instruction in its own bundle.
+func (dr *driver) one() RenameResult { return dr.bundle(1)[0] }
+
+// retireAll releases the in-flight references held by renamed insts.
+func (dr *driver) retireAll() {
+	for _, p := range dr.held {
+		dr.prf.Release(p)
+	}
+	dr.held = dr.held[:0]
+}
+
+func full() Config { return DefaultConfig() }
+
+func TestLDIExecutesEarly(t *testing.T) {
+	dr := newDriver(t, full(), "start:\n ldi 42 -> r1\n halt\n")
+	res := dr.one()
+	if res.Kind != KindEarly || res.Value != 42 {
+		t.Errorf("ldi: %+v", res)
+	}
+	if sym := dr.o.SymOf(isa.IntReg(1)); !sym.Known || sym.Off != 42 {
+		t.Errorf("r1 sym = %v", sym)
+	}
+	if len(res.Deps) != 0 {
+		t.Errorf("early inst has deps %v", res.Deps)
+	}
+}
+
+func TestConstantPropagationChain(t *testing.T) {
+	// Every instruction's inputs are known (reset state + ldi), so the
+	// entire chain executes early across separate bundles.
+	src := `
+start:
+    ldi 5 -> r1
+    add r1, 3 -> r2
+    add r2, r1 -> r3
+    sub r3, 2 -> r4
+    cmpeq r4, 11 -> r5
+    halt
+`
+	dr := newDriver(t, full(), src)
+	for i, want := range []uint64{5, 8, 13, 11, 1} {
+		res := dr.one()
+		if res.Kind != KindEarly || res.Value != want {
+			t.Errorf("inst %d: kind=%v value=%d, want early %d", i, res.Kind, res.Value, want)
+		}
+	}
+	if got := dr.o.Stats().EarlyExecuted; got != 5 {
+		t.Errorf("EarlyExecuted = %d, want 5", got)
+	}
+}
+
+// loadUnknown is a program stanza that makes r10 hold an unknown
+// (symbolically opaque) value: a load whose datum the optimizer cannot
+// know at rename.
+const loadUnknown = `
+start:
+    ldi buf -> r9
+    ldq [r9] -> r10
+`
+
+const dataSeg = `
+.org 0x40000
+.data buf
+.quad 77, 88, 99, 111
+`
+
+func TestReassociationChain(t *testing.T) {
+	src := loadUnknown + `
+    add r10, 1 -> r11
+    add r11, 2 -> r12
+    sub r12, 4 -> r13
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one() // ldi (early)
+	ld := dr.one()
+	if ld.Kind != KindNormal || !ld.AddrKnown {
+		t.Fatalf("load: %+v", ld)
+	}
+	p10 := dr.o.Mapping(isa.IntReg(10))
+
+	add1 := dr.one()
+	if add1.Kind != KindNormal || len(add1.Deps) != 1 || add1.Deps[0] != p10 {
+		t.Fatalf("first add should depend on the load's preg: %+v", add1)
+	}
+	add2 := dr.one()
+	if len(add2.Deps) != 1 || add2.Deps[0] != p10 {
+		t.Errorf("second add should be reassociated onto the load's preg: %+v", add2)
+	}
+	sub := dr.one()
+	if len(sub.Deps) != 1 || sub.Deps[0] != p10 {
+		t.Errorf("sub should be reassociated onto the load's preg: %+v", sub)
+	}
+	sym := dr.o.SymOf(isa.IntReg(13))
+	if sym.Known || sym.Base != p10 || int64(sym.Off) != -1 || sym.Scale != 0 {
+		t.Errorf("r13 sym = %v, want p%d-1", sym, p10)
+	}
+	if dr.o.Stats().Reassociated != 3 {
+		t.Errorf("Reassociated = %d, want 3", dr.o.Stats().Reassociated)
+	}
+}
+
+func TestDependenceDepthLimit(t *testing.T) {
+	chain := `
+    add r10, 1 -> r11
+    add r11, 1 -> r12
+    add r12, 1 -> r13
+    add r13, 1 -> r14
+    halt
+`
+	// Default (depth 0): only the first add in the bundle is optimized;
+	// the rest keep their bundle-local dependences.
+	dr := newDriver(t, full(), loadUnknown+chain+dataSeg)
+	dr.bundle(2) // ldi, ldq
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	res := dr.bundle(4)
+	if res[0].Deps[0] != p10 {
+		t.Errorf("add1 dep = %v, want p10=%d", res[0].Deps, p10)
+	}
+	if res[1].Deps[0] == p10 {
+		t.Error("add2 exceeded the single-addition bundle budget")
+	}
+	if dr.o.Stats().DepthLimited == 0 {
+		t.Error("DepthLimited should have counted")
+	}
+
+	// Depth 3: the whole 4-long chain collapses onto p10.
+	cfg := full()
+	cfg.DepDepth = 3
+	dr = newDriver(t, cfg, loadUnknown+chain+dataSeg)
+	dr.bundle(2)
+	p10 = dr.o.Mapping(isa.IntReg(10))
+	res = dr.bundle(4)
+	for i, r := range res {
+		if len(r.Deps) != 1 || r.Deps[0] != p10 {
+			t.Errorf("depth3 add%d deps = %v, want [p%d]", i+1, r.Deps, p10)
+		}
+	}
+}
+
+func TestDepthResetsAcrossBundles(t *testing.T) {
+	src := loadUnknown + `
+    add r10, 1 -> r11
+    add r11, 1 -> r12
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.one() // add1 in its own bundle
+	res := dr.one()
+	if len(res.Deps) != 1 || res.Deps[0] != p10 {
+		t.Errorf("cross-bundle add should reassociate onto p10: %+v", res)
+	}
+}
+
+func TestValueFeedbackEnablesEarlyExecution(t *testing.T) {
+	src := loadUnknown + `
+    add r10, 1 -> r11
+    add r11, 2 -> r12
+    beq r12, 0
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.one() // add r10,1 -> r11 : reassociated, unknown
+	// The load completes: buf[0] = 77 feeds back.
+	dr.o.Feedback(p10, 77)
+	if sym := dr.o.SymOf(isa.IntReg(11)); !sym.Known || sym.Off != 78 {
+		t.Fatalf("after feedback, r11 sym = %v, want #78", sym)
+	}
+	add2 := dr.one()
+	if add2.Kind != KindEarly || add2.Value != 80 {
+		t.Errorf("add2 after feedback: %+v, want early 80", add2)
+	}
+	br := dr.one()
+	if br.Kind != KindEarly || !br.BranchResolved {
+		t.Errorf("branch should resolve early: %+v", br)
+	}
+	if dr.o.Stats().FeedbackApplied == 0 {
+		t.Error("FeedbackApplied should have counted")
+	}
+}
+
+func TestFeedbackIsIdempotentPerEntry(t *testing.T) {
+	dr := newDriver(t, full(), loadUnknown+" halt\n"+dataSeg)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.o.Feedback(p10, 77)
+	// Second delivery must not double-apply (no refs left to release).
+	dr.o.Feedback(p10, 77)
+	if sym := dr.o.SymOf(isa.IntReg(10)); !sym.Known || sym.Off != 77 {
+		t.Errorf("r10 sym = %v", sym)
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2
+    ldq [r1] -> r3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one()
+	first := dr.one()
+	if first.LoadEliminated {
+		t.Fatal("first load must miss the MBC")
+	}
+	second := dr.one()
+	if !second.LoadEliminated || second.Kind != KindElim {
+		t.Fatalf("second load should be eliminated: %+v", second)
+	}
+	if second.Dest != first.Dest {
+		t.Errorf("eliminated load should alias the first load's preg: %d vs %d", second.Dest, first.Dest)
+	}
+	st := dr.o.Stats()
+	if st.LoadsRemoved != 1 || st.MBCHits != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStoreForwardingKnownValue(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi 123 -> r2
+    stq r2 -> [r1+8]
+    ldq [r1+8] -> r3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.one()
+	dr.one()
+	dr.one()
+	ld := dr.one()
+	if !ld.LoadEliminated || ld.Kind != KindEarly || ld.Value != 123 {
+		t.Errorf("forwarded load: %+v, want early 123", ld)
+	}
+	if sym := dr.o.SymOf(isa.IntReg(3)); !sym.Known || sym.Off != 123 {
+		t.Errorf("r3 sym = %v", sym)
+	}
+}
+
+func TestStoreForwardingSymbolicValue(t *testing.T) {
+	src := loadUnknown + `
+    stq r10 -> [r9+8]
+    ldq [r9+8] -> r11
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	dr.one() // store
+	ld := dr.one()
+	if !ld.LoadEliminated || ld.Kind != KindElim || ld.Dest != p10 {
+		t.Errorf("symbolic forward: %+v, want elim aliasing p%d", ld, p10)
+	}
+}
+
+func TestChainedMemLimit(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi 55 -> r2
+    stq r2 -> [r1]
+    ldq [r1] -> r3
+    halt
+` + dataSeg
+	// Store and load in the SAME bundle: default config refuses the
+	// same-bundle MBC dependence.
+	dr := newDriver(t, full(), src)
+	dr.one()
+	dr.one()
+	res := dr.bundle(2)
+	if res[1].LoadEliminated {
+		t.Error("same-bundle forward should be chain-limited by default")
+	}
+	if dr.o.Stats().ChainLimited != 1 {
+		t.Errorf("ChainLimited = %d", dr.o.Stats().ChainLimited)
+	}
+
+	cfg := full()
+	cfg.ChainedMem = 1
+	dr = newDriver(t, cfg, src)
+	dr.one()
+	dr.one()
+	res = dr.bundle(2)
+	if !res[1].LoadEliminated {
+		t.Error("ChainedMem=1 should allow one same-bundle forward")
+	}
+}
+
+func TestStaleMBCEntryDetected(t *testing.T) {
+	// A store through an unknown base silently overwrites buf[0]; the
+	// subsequent load must NOT forward the stale value.
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2      ; r2 = 77, installs MBC[buf]
+    ldi ptr -> r3
+    ldq [r3] -> r4      ; r4 = buf (unknown to the optimizer)
+    ldi 1000 -> r5
+    stq r5 -> [r4]      ; unknown address: clobbers buf silently
+    ldq [r1] -> r6      ; must load 1000, not forward 77
+    halt
+.org 0x40000
+.data buf
+.quad 77
+.data ptr
+.quad buf
+`
+	dr := newDriver(t, full(), src)
+	for i := 0; i < 6; i++ {
+		dr.one()
+	}
+	ld := dr.one()
+	if ld.LoadEliminated {
+		t.Fatal("stale MBC entry was forwarded")
+	}
+	if dr.o.Stats().MBCStale != 1 {
+		t.Errorf("MBCStale = %d, want 1", dr.o.Stats().MBCStale)
+	}
+}
+
+func TestStoreFlushPolicy(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2
+    ldi ptr -> r3
+    ldq [r3] -> r4
+    stq r2 -> [r4]      ; unknown address
+    ldq [r1] -> r6
+    halt
+.org 0x40000
+.data buf
+.quad 77
+.data ptr
+.quad buf2
+.data buf2
+.quad 0
+`
+	cfg := full()
+	cfg.StorePolicy = StoreFlush
+	dr := newDriver(t, cfg, src)
+	for i := 0; i < 5; i++ {
+		dr.one()
+	}
+	if dr.o.MBCLive() != 0 {
+		t.Errorf("MBC should be flushed, has %d live entries", dr.o.MBCLive())
+	}
+	if dr.o.Stats().MBCFlushes != 1 {
+		t.Errorf("MBCFlushes = %d", dr.o.Stats().MBCFlushes)
+	}
+	ld := dr.one()
+	if ld.LoadEliminated {
+		t.Error("load after flush cannot be eliminated")
+	}
+}
+
+func TestMoveCollapsing(t *testing.T) {
+	src := loadUnknown + `
+    mov r10 -> r11
+    add r11, 5 -> r12
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	mv := dr.one()
+	if mv.Kind != KindElim || mv.Dest != p10 {
+		t.Errorf("move: %+v, want elim onto p%d", mv, p10)
+	}
+	if dr.o.Mapping(isa.IntReg(11)) != p10 {
+		t.Error("r11 should map to the producer's preg")
+	}
+	add := dr.one()
+	if len(add.Deps) != 1 || add.Deps[0] != p10 {
+		t.Errorf("consumer of collapsed move should depend on p10: %+v", add)
+	}
+	if dr.o.Stats().MovesCollapsed != 1 {
+		t.Errorf("MovesCollapsed = %d", dr.o.Stats().MovesCollapsed)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	src := loadUnknown + `
+    mul r10, 8 -> r11
+    mul r10, 7 -> r12
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	m8 := dr.one()
+	if m8.ExecClass != isa.ClassSimpleInt {
+		t.Errorf("mul by 8 should strength-reduce to a simple shift: %+v", m8)
+	}
+	if len(m8.Deps) != 1 || m8.Deps[0] != p10 {
+		t.Errorf("reduced mul should reassociate: %+v", m8)
+	}
+	if sym := dr.o.SymOf(isa.IntReg(11)); sym.Scale != 3 || sym.Base != p10 {
+		t.Errorf("r11 sym = %v, want (p%d<<3)", sym, p10)
+	}
+	m7 := dr.one()
+	if m7.ExecClass != isa.ClassComplexInt {
+		t.Errorf("mul by 7 must stay complex: %+v", m7)
+	}
+	if dr.o.Stats().StrengthReduced != 1 {
+		t.Errorf("StrengthReduced = %d", dr.o.Stats().StrengthReduced)
+	}
+}
+
+func TestBranchInference(t *testing.T) {
+	// The loop decrements r10 from an unknown value; when the bne falls
+	// through, the optimizer learns r10 == 0.
+	src := loadUnknown + `
+    sub r10, 77 -> r10
+    bne r10, spin
+spin:
+    add r10, 3 -> r11
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	dr.bundle(2)
+	dr.one() // sub (reassociated, unknown)
+	br := dr.one()
+	if br.Kind != KindNormal {
+		t.Fatalf("branch on unknown value cannot resolve early: %+v", br)
+	}
+	// r10 - 77 == 0 (buf[0]=77), so the bne was not taken => inference.
+	if sym := dr.o.SymOf(isa.IntReg(10)); !sym.Known || sym.Off != 0 {
+		t.Fatalf("r10 sym after inference = %v, want #0", sym)
+	}
+	add := dr.one()
+	if add.Kind != KindEarly || add.Value != 3 {
+		t.Errorf("consumer of inferred zero should execute early: %+v", add)
+	}
+	if dr.o.Stats().Inferences != 1 {
+		t.Errorf("Inferences = %d", dr.o.Stats().Inferences)
+	}
+}
+
+func TestJSRLinkValueEarly(t *testing.T) {
+	src := `
+start:
+    jsr ra, fn
+    halt
+fn:
+    jmp ra
+`
+	dr := newDriver(t, full(), src)
+	j := dr.one()
+	if j.Kind != KindEarly || !j.BranchResolved || j.Value != 1 {
+		t.Errorf("jsr: %+v, want early link value 1", j)
+	}
+	ret := dr.one()
+	if ret.Kind != KindEarly || !ret.BranchResolved {
+		t.Errorf("jmp through known link should resolve early: %+v", ret)
+	}
+}
+
+func TestBaselineModeNeverOptimizes(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    add r1, 8 -> r2
+    mov r2 -> r3
+    ldq [r1+8] -> r4
+    beq r3, 6
+    halt
+` + dataSeg
+	cfg := Config{Mode: ModeBaseline, MBCEntries: 128}
+	dr := newDriver(t, cfg, src)
+	for i := 0; i < 5; i++ {
+		res := dr.one()
+		if res.Kind != KindNormal {
+			t.Errorf("baseline inst %d: kind = %v", i, res.Kind)
+		}
+		if res.AddrKnown || res.LoadEliminated || res.BranchResolved {
+			t.Errorf("baseline inst %d has optimizer effects: %+v", i, res)
+		}
+	}
+	st := dr.o.Stats()
+	if st.EarlyExecuted != 0 || st.Reassociated != 0 {
+		t.Errorf("baseline stats: %+v", st)
+	}
+}
+
+func TestFeedbackOnlyMode(t *testing.T) {
+	src := loadUnknown + `
+    add r10, 1 -> r11
+    add r10, 2 -> r12
+    halt
+` + dataSeg
+	cfg := Config{Mode: ModeFeedbackOnly}
+	dr := newDriver(t, cfg, src)
+	dr.bundle(2)
+	p10 := dr.o.Mapping(isa.IntReg(10))
+	// Without feedback: plain rename, no reassociation.
+	add1 := dr.one()
+	if len(add1.Deps) != 1 || add1.Deps[0] != p10 || dr.o.Stats().Reassociated != 0 {
+		t.Errorf("feedback-only must not reassociate: %+v", add1)
+	}
+	// After feedback the value is known and the next add runs early.
+	dr.o.Feedback(p10, 77)
+	add2 := dr.one()
+	if add2.Kind != KindEarly || add2.Value != 79 {
+		t.Errorf("feedback-only early exec: %+v, want 79", add2)
+	}
+}
+
+func TestAddressGenerationStats(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2       ; addr known
+    ldq [r2] -> r3       ; base unknown
+    stq r2 -> [r1+8]     ; addr known
+    halt
+.org 0x40000
+.data buf
+.quad buf
+`
+	dr := newDriver(t, full(), src)
+	dr.one()
+	a := dr.one()
+	b := dr.one()
+	c := dr.one()
+	if !a.AddrKnown || b.AddrKnown || !c.AddrKnown {
+		t.Errorf("addr-known flags: %v %v %v", a.AddrKnown, b.AddrKnown, c.AddrKnown)
+	}
+	st := dr.o.Stats()
+	if st.MemOps != 3 || st.AddrKnown != 2 || st.Loads != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestNoPRegLeaksAfterFullRun(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi 0 -> r2
+    ldi 10 -> r3
+loop:
+    ldq [r1] -> r4
+    add r2, r4 -> r2
+    stq r2 -> [r1+8]
+    ldq [r1+8] -> r5
+    mov r5 -> r6
+    sub r3, 1 -> r3
+    bne r3, loop
+    halt
+` + dataSeg
+	for _, cfg := range []Config{full(), {Mode: ModeBaseline}, {Mode: ModeFeedbackOnly}} {
+		dr := newDriver(t, cfg, src)
+		for !dr.m.Halted() {
+			dr.bundle(1)
+		}
+		dr.retireAll()
+		dr.o.ReleaseAll()
+		if live := dr.prf.LiveCount(); live != 0 {
+			t.Errorf("mode %v: %d pregs leaked", cfg.Mode, live)
+		}
+		if msg := dr.prf.CheckInvariants(); msg != "" {
+			t.Errorf("mode %v: %s", cfg.Mode, msg)
+		}
+	}
+}
+
+func TestQuicksortPatternFillsMBC(t *testing.T) {
+	// Walk an 8-element array twice: the second pass should eliminate
+	// every load (the paper's mcf/untoast story in miniature).
+	src := `
+start:
+    ldi 2 -> r7
+pass:
+    ldi buf8 -> r1
+    ldi 8 -> r2
+loop:
+    ldq [r1] -> r3
+    add r3, 1 -> r3
+    add r1, 8 -> r1
+    sub r2, 1 -> r2
+    bne r2, loop
+    sub r7, 1 -> r7
+    bne r7, pass
+    halt
+.org 0x50000
+.data buf8
+.quad 1, 2, 3, 4, 5, 6, 7, 8
+`
+	dr := newDriver(t, full(), src)
+	for !dr.m.Halted() {
+		dr.bundle(1)
+	}
+	st := dr.o.Stats()
+	if st.Loads != 16 {
+		t.Fatalf("loads = %d, want 16", st.Loads)
+	}
+	if st.LoadsRemoved != 8 {
+		t.Errorf("LoadsRemoved = %d, want 8 (entire second pass)", st.LoadsRemoved)
+	}
+}

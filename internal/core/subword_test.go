@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Sub-word (ldl/stl) interaction with the Memory Bypass Cache: §3.2 says
+// the tag match covers "the offset from the 8-byte alignment and the
+// size of the memory access".
+
+func TestMBCSizeMismatchNeverForwards(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldq [r1] -> r2       ; 8-byte load installs an 8-byte entry
+    nop
+    nop
+    nop
+    ldl [r1] -> r3       ; 4-byte load of the same address: no forward,
+    nop                  ; and its miss installs a 4-byte entry that
+    nop                  ; evicts the 8-byte one (direct-mapped)
+    nop
+    ldq [r1] -> r4       ; 8-byte: size mismatch again, no forward
+    nop
+    nop
+    nop
+    ldl [r1] -> r5       ; 4-byte: evicted by the ldq above
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	var results []RenameResult
+	for !dr.m.Halted() {
+		results = append(results, dr.one())
+	}
+	for _, i := range []int{5, 9, 13} {
+		if results[i].LoadEliminated {
+			t.Errorf("access %d must not forward across sizes", i)
+		}
+	}
+	if dr.o.Stats().LoadsRemoved != 0 {
+		t.Errorf("no load should have been removed, got %d", dr.o.Stats().LoadsRemoved)
+	}
+}
+
+func TestSTLForwardsToLDLWhenValueFits(t *testing.T) {
+	src := `
+start:
+    ldi buf -> r1
+    ldi 12345 -> r2
+    stl r2 -> [r1+4]
+    nop
+    nop
+    nop
+    ldl [r1+4] -> r3
+    add r3, 1 -> r4
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	var results []RenameResult
+	for !dr.m.Halted() {
+		results = append(results, dr.one())
+	}
+	ld := results[6]
+	if !ld.LoadEliminated || ld.Kind != KindEarly || ld.Value != 12345 {
+		t.Errorf("stl->ldl forward: %+v, want early 12345", ld)
+	}
+	if add := results[7]; add.Kind != KindEarly || add.Value != 12346 {
+		t.Errorf("consumer: %+v, want early 12346", add)
+	}
+}
+
+func TestSTLWithTruncatedValueDoesNotForward(t *testing.T) {
+	// The stored register holds a value that does not survive the
+	// 32-bit truncation + sign extension; forwarding the register would
+	// be wrong, and the verification stage must catch it.
+	src := `
+start:
+    ldi buf -> r1
+    ldi 0x1234567890 -> r2   ; upper bits lost by stl
+    stl r2 -> [r1+4]
+    nop
+    nop
+    nop
+    ldl [r1+4] -> r3         ; must come from memory (0x34567890)
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	var results []RenameResult
+	for !dr.m.Halted() {
+		results = append(results, dr.one())
+	}
+	ld := results[6]
+	if ld.LoadEliminated {
+		t.Error("truncating store must not forward its register")
+	}
+	if dr.o.Stats().MBCStale == 0 {
+		t.Error("the mismatch should be caught by the verification stage")
+	}
+}
+
+func TestLDLSignExtensionThroughForwarding(t *testing.T) {
+	// A negative 32-bit value round-trips stl -> ldl because the
+	// register already holds the sign-extended form.
+	src := `
+start:
+    ldi buf -> r1
+    ldi -7 -> r2
+    stl r2 -> [r1+4]
+    nop
+    nop
+    nop
+    ldl [r1+4] -> r3
+    halt
+` + dataSeg
+	dr := newDriver(t, full(), src)
+	var results []RenameResult
+	for !dr.m.Halted() {
+		results = append(results, dr.one())
+	}
+	ld := results[6]
+	if !ld.LoadEliminated || ld.Kind != KindEarly || int64(ld.Value) != -7 {
+		t.Errorf("negative stl->ldl forward: %+v, want early -7", ld)
+	}
+	_ = isa.LDL
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's primary contribution: the
+// continuous optimizer placed in the rename stage of the pipeline.
+//
+// The optimizer maintains, for every architectural register, a symbolic
+// value of the form
+//
+//	(preg << scale) ± offset
+//
+// where preg is a physical register, scale a 2-bit shift amount and
+// offset a 64-bit immediate (§3.1 of the paper). Constants are encoded by
+// pointing the base at the hardwired zero register — represented here by
+// the Known flag — with the full 64-bit value in the offset field.
+//
+// On top of this representation the optimizer performs constant
+// propagation (CP), reassociation (RA), redundant load elimination (RLE)
+// and store forwarding (SF), plus the paper's minor optimizations: move
+// collapsing, strength reduction of power-of-two multiplies, and
+// branch-direction value inference. Values computed by the execution
+// units are folded back into the tables by value feedback, converting
+// symbolic entries into known constants and enabling early execution of
+// simple instructions and early resolution of mispredicted branches.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/regfile"
+)
+
+// MaxScale is the largest left-shift representable in a symbolic value
+// (the paper's 2-bit scale field).
+const MaxScale = 3
+
+// SymVal is the symbolic value of one architectural register:
+// either a known 64-bit constant, or (Base << Scale) + Off where Base is
+// a physical register. Offsets are two's-complement, so "± offset" is a
+// single wrapping addition.
+type SymVal struct {
+	// Known marks a constant; the value lives in Off and Base/Scale are
+	// meaningless (the hardware encodes this as base = zero register).
+	Known bool
+	// Base is the physical register the value is expressed against.
+	Base regfile.PReg
+	// Scale is the left-shift applied to Base (0..MaxScale).
+	Scale uint8
+	// Off is the constant addend, or the full value when Known.
+	Off uint64
+}
+
+// Const returns a known-constant symbolic value.
+func Const(v uint64) SymVal { return SymVal{Known: true, Off: v} }
+
+// Sym returns the plain symbolic value of a physical register.
+func Sym(p regfile.PReg) SymVal { return SymVal{Base: p} }
+
+// HasBase reports whether v references a physical register.
+func (v SymVal) HasBase() bool { return !v.Known }
+
+// Eval computes the concrete value given the base register's value.
+// For known constants the argument is ignored.
+func (v SymVal) Eval(base uint64) uint64 {
+	if v.Known {
+		return v.Off
+	}
+	return base<<v.Scale + v.Off
+}
+
+// IsPlain reports whether v is exactly one physical register with no
+// shift or offset — the symbolic value a freshly renamed, unoptimized
+// destination receives.
+func (v SymVal) IsPlain() bool { return !v.Known && v.Scale == 0 && v.Off == 0 }
+
+// AddConst returns v + c: constant folding for known values,
+// reassociation (offset adjustment) for symbolic ones. This is always
+// representable.
+func (v SymVal) AddConst(c uint64) SymVal {
+	v.Off += c
+	return v
+}
+
+// ShiftLeft returns v << k and whether the result is representable
+// within the 2-bit scale field: (b<<s + o) << k = b<<(s+k) + (o<<k),
+// valid while s+k <= MaxScale.
+func (v SymVal) ShiftLeft(k uint64) (SymVal, bool) {
+	if v.Known {
+		return Const(v.Off << (k & 63)), true
+	}
+	if k > MaxScale || uint64(v.Scale)+k > MaxScale {
+		return SymVal{}, false
+	}
+	return SymVal{Base: v.Base, Scale: v.Scale + uint8(k), Off: v.Off << k}, true
+}
+
+// String renders the symbolic value for diagnostics.
+func (v SymVal) String() string {
+	if v.Known {
+		return fmt.Sprintf("#%d", int64(v.Off))
+	}
+	s := fmt.Sprintf("p%d", v.Base)
+	if v.Scale != 0 {
+		s = fmt.Sprintf("(p%d<<%d)", v.Base, v.Scale)
+	}
+	if v.Off != 0 {
+		s = fmt.Sprintf("%s%+d", s, int64(v.Off))
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regfile"
+)
+
+func TestConstAndSym(t *testing.T) {
+	c := Const(42)
+	if !c.Known || c.Off != 42 || c.HasBase() {
+		t.Errorf("Const(42) = %+v", c)
+	}
+	s := Sym(7)
+	if s.Known || s.Base != 7 || s.Scale != 0 || s.Off != 0 || !s.IsPlain() {
+		t.Errorf("Sym(7) = %+v", s)
+	}
+	if c.IsPlain() {
+		t.Error("constants are not plain symbolic values")
+	}
+}
+
+func TestEval(t *testing.T) {
+	cases := []struct {
+		v    SymVal
+		base uint64
+		want uint64
+	}{
+		{Const(9), 12345, 9},
+		{Sym(1), 10, 10},
+		{SymVal{Base: 1, Scale: 2, Off: 3}, 10, 43},
+		{SymVal{Base: 1, Scale: 3, Off: ^uint64(0)}, 1, 7}, // 1<<3 - 1
+	}
+	for _, c := range cases {
+		if got := c.v.Eval(c.base); got != c.want {
+			t.Errorf("%v.Eval(%d) = %d, want %d", c.v, c.base, got, c.want)
+		}
+	}
+}
+
+func TestAddConstWraps(t *testing.T) {
+	v := SymVal{Base: 2, Off: ^uint64(0)} // offset -1
+	v = v.AddConst(3)
+	if v.Off != 2 {
+		t.Errorf("offset = %d, want 2", v.Off)
+	}
+	// Subtraction via two's complement.
+	v = v.AddConst(^uint64(5) + 1) // -5
+	if int64(v.Off) != -3 {
+		t.Errorf("offset = %d, want -3", int64(v.Off))
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	v := SymVal{Base: 3, Scale: 1, Off: 4}
+	s, ok := v.ShiftLeft(2)
+	if !ok || s.Scale != 3 || s.Off != 16 || s.Base != 3 {
+		t.Errorf("ShiftLeft(2) = %+v, %v", s, ok)
+	}
+	if _, ok := v.ShiftLeft(3); ok {
+		t.Error("scale 1+3 exceeds the 2-bit field; must not be representable")
+	}
+	if _, ok := v.ShiftLeft(64); ok {
+		t.Error("huge shifts are not representable")
+	}
+	c, ok := Const(5).ShiftLeft(4)
+	if !ok || !c.Known || c.Off != 80 {
+		t.Errorf("Const shift = %+v, %v", c, ok)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    SymVal
+		want string
+	}{
+		{Const(7), "#7"},
+		{Const(^uint64(0)), "#-1"},
+		{Sym(4), "p4"},
+		{SymVal{Base: 4, Off: 9}, "p4+9"},
+		{SymVal{Base: 4, Off: ^uint64(0)}, "p4-1"},
+		{SymVal{Base: 4, Scale: 2}, "(p4<<2)"},
+		{SymVal{Base: 4, Scale: 2, Off: 8}, "(p4<<2)+8"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: AddConst and ShiftLeft commute with Eval — the symbolic
+// algebra exactly mirrors concrete 64-bit arithmetic. This is the
+// identity the whole CP/RA stage rests on.
+func TestQuickSymbolicAlgebraMatchesConcrete(t *testing.T) {
+	add := func(base, off, c uint64, scale uint8) bool {
+		v := SymVal{Base: regfile.PReg(1), Scale: scale % 4, Off: off}
+		return v.AddConst(c).Eval(base) == v.Eval(base)+c
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Errorf("AddConst: %v", err)
+	}
+	shift := func(base, off, k8 uint64, scale uint8) bool {
+		k := k8 % 4
+		v := SymVal{Base: regfile.PReg(1), Scale: scale % 4, Off: off}
+		s, ok := v.ShiftLeft(k)
+		if !ok {
+			return uint64(v.Scale)+k > MaxScale // refusal only when out of range
+		}
+		return s.Eval(base) == v.Eval(base)<<k
+	}
+	if err := quick.Check(shift, nil); err != nil {
+		t.Errorf("ShiftLeft: %v", err)
+	}
+	konst := func(v, c uint64) bool {
+		return Const(v).AddConst(c).Eval(999) == v+c && Const(v).Eval(123) == v
+	}
+	if err := quick.Check(konst, nil); err != nil {
+		t.Errorf("Const: %v", err)
+	}
+}

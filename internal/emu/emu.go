@@ -1,0 +1,337 @@
+// Package emu implements the architectural (functional) emulator for CO64
+// programs. The emulator is the oracle for the timing model: it executes
+// the program in order, producing the dynamic instruction stream — with
+// per-instruction source values, results, effective addresses, and branch
+// outcomes — that internal/pipeline replays through the cycle-level model
+// and validates against at retirement.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Program is an executable CO64 image: code plus an initial data segment.
+type Program struct {
+	// Name identifies the program in stats output.
+	Name string
+	// Code is the instruction sequence; PC values index this slice.
+	Code []isa.Inst
+	// Data holds (address, bytes) initial-memory chunks.
+	Data []Segment
+	// Entry is the initial PC.
+	Entry uint64
+	// Symbols maps label names to their values: instruction indices for
+	// code labels, byte addresses for data labels. Populated by the
+	// assembler; useful for locating result cells in tests and tools.
+	Symbols map[string]uint64
+}
+
+// Symbol looks up a label defined in the program source.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// Segment is one initialized data region.
+type Segment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// NewMemory builds a fresh memory image holding the program's data
+// segments.
+func (p *Program) NewMemory() *mem.Memory {
+	m := mem.New()
+	for _, s := range p.Data {
+		m.WriteBlock(s.Addr, s.Bytes)
+	}
+	return m
+}
+
+// DynInst is one dynamic (executed) instruction, as observed by the
+// oracle. The timing model treats these values as the instruction's true
+// semantics; every optimizer decision is checked against them.
+type DynInst struct {
+	// Seq is the dynamic sequence number (0-based).
+	Seq uint64
+	// PC is the instruction index in Program.Code.
+	PC uint64
+	// Inst points at the static instruction.
+	Inst *isa.Inst
+	// SrcVals holds the architectural values of the instruction's
+	// register sources, in isa.Inst.Sources order.
+	SrcVals [2]uint64
+	// Result is the value written to the destination register, when the
+	// instruction writes one (including JSR's return address).
+	Result uint64
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// StoreVal is the value written to memory by stores.
+	StoreVal uint64
+	// Taken reports the branch outcome for control instructions.
+	Taken bool
+	// NextPC is the PC of the next dynamic instruction.
+	NextPC uint64
+	// Halt marks the final HALT instruction of the run.
+	Halt bool
+}
+
+// Machine is the architectural state of a CO64 core: the 64 registers
+// (floats stored as IEEE bits), data memory and PC.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	Mem  *mem.Memory
+	PC   uint64
+
+	prog *Program
+	seq  uint64
+	halt bool
+}
+
+// New constructs a machine ready to execute p from its entry point with a
+// fresh copy of the program's data image.
+func New(p *Program) *Machine {
+	return &Machine{Mem: p.NewMemory(), PC: p.Entry, prog: p}
+}
+
+// Halted reports whether the machine has executed HALT.
+func (m *Machine) Halted() bool { return m.halt }
+
+// InstCount returns the number of dynamic instructions executed so far.
+func (m *Machine) InstCount() uint64 { return m.seq }
+
+// Reg reads an architectural register, honoring the hardwired zeros.
+func (m *Machine) Reg(r isa.Reg) uint64 {
+	if r.IsZero() || !r.Valid() {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	if r == isa.NoReg || r.IsZero() {
+		return
+	}
+	m.Regs[r] = v
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func bits(f float64) uint64   { return math.Float64bits(f) }
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalALU computes the architectural result of a non-memory, non-control
+// CO64 operation given its (up to two) input values. It is shared by the
+// emulator and by the optimizer's early-execution ALUs, guaranteeing the
+// two agree bit-for-bit. EvalALU panics on opcodes outside its domain.
+func EvalALU(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SLL:
+		return a << (b & 63)
+	case isa.SRL:
+		return a >> (b & 63)
+	case isa.SRA:
+		return uint64(int64(a) >> (b & 63))
+	case isa.CMPEQ:
+		return b2u(a == b)
+	case isa.CMPLT:
+		return b2u(int64(a) < int64(b))
+	case isa.CMPLE:
+		return b2u(int64(a) <= int64(b))
+	case isa.CMPULT:
+		return b2u(a < b)
+	case isa.MOV, isa.LDI:
+		return a
+	case isa.MUL:
+		return a * b
+	case isa.MULH:
+		hi, _ := mul128(a, b)
+		return hi
+	case isa.DIV:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case isa.REM:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case isa.FADD:
+		return bits(f64(a) + f64(b))
+	case isa.FSUB:
+		return bits(f64(a) - f64(b))
+	case isa.FMUL:
+		return bits(f64(a) * f64(b))
+	case isa.FDIV:
+		return bits(f64(a) / f64(b))
+	case isa.FNEG:
+		return bits(-f64(a))
+	case isa.FCMPEQ:
+		return b2u(f64(a) == f64(b))
+	case isa.FCMPLT:
+		return b2u(f64(a) < f64(b))
+	case isa.FMOV:
+		return a
+	case isa.ITOF:
+		return bits(float64(int64(a)))
+	case isa.FTOI:
+		return uint64(int64(f64(a)))
+	}
+	panic(fmt.Sprintf("emu: EvalALU called with %v", op))
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al * bl
+	lo = t & mask
+	c := t >> 32
+	t = ah*bl + c
+	c = t >> 32
+	t2 := al*bh + t&mask
+	lo |= t2 << 32
+	hi = ah*bh + c + t2>>32
+	return hi, lo
+}
+
+// BranchTaken evaluates a conditional branch condition against the source
+// value. It is shared with the optimizer's early branch resolution.
+func BranchTaken(op isa.Op, a uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return a == 0
+	case isa.BNE:
+		return a != 0
+	case isa.BLT:
+		return int64(a) < 0
+	case isa.BGE:
+		return int64(a) >= 0
+	case isa.BLE:
+		return int64(a) <= 0
+	case isa.BGT:
+		return int64(a) > 0
+	}
+	panic(fmt.Sprintf("emu: BranchTaken called with %v", op))
+}
+
+// Step executes one instruction and returns its dynamic record. Calling
+// Step after HALT returns nil.
+func (m *Machine) Step() *DynInst {
+	if m.halt {
+		return nil
+	}
+	if m.PC >= uint64(len(m.prog.Code)) {
+		panic(fmt.Sprintf("emu: PC %d outside program %q (len %d)", m.PC, m.prog.Name, len(m.prog.Code)))
+	}
+	in := &m.prog.Code[m.PC]
+	d := &DynInst{Seq: m.seq, PC: m.PC, Inst: in}
+	m.seq++
+
+	srcs := in.Sources()
+	for i, r := range srcs {
+		if i < len(d.SrcVals) {
+			d.SrcVals[i] = m.Reg(r)
+		}
+	}
+
+	next := m.PC + 1
+	switch in.Op.Class() {
+	case isa.ClassNop:
+		// nothing
+	case isa.ClassSimpleInt, isa.ClassComplexInt, isa.ClassFP:
+		a := m.Reg(in.SrcA)
+		var b uint64
+		if in.Op == isa.LDI {
+			a = uint64(in.Imm)
+		} else if in.HasImm {
+			b = uint64(in.Imm)
+		} else {
+			b = m.Reg(in.SrcB)
+		}
+		d.Result = EvalALU(in.Op, a, b)
+		m.setReg(in.Dst, d.Result)
+	case isa.ClassLoad:
+		d.Addr = m.Reg(in.SrcA) + uint64(in.Imm)
+		if in.Op == isa.LDL {
+			d.Result = uint64(int64(int32(m.Mem.Load32(d.Addr))))
+		} else {
+			d.Result = m.Mem.Load64(d.Addr)
+		}
+		m.setReg(in.Dst, d.Result)
+	case isa.ClassStore:
+		d.Addr = m.Reg(in.SrcA) + uint64(in.Imm)
+		d.StoreVal = m.Reg(in.SrcB)
+		if in.Op == isa.STL {
+			d.StoreVal = uint64(uint32(d.StoreVal))
+			m.Mem.Store32(d.Addr, uint32(d.StoreVal))
+		} else {
+			m.Mem.Store64(d.Addr, d.StoreVal)
+		}
+	case isa.ClassBranch:
+		switch {
+		case in.Op.IsCondBranch():
+			d.Taken = BranchTaken(in.Op, m.Reg(in.SrcA))
+			if d.Taken {
+				next = uint64(in.Imm)
+			}
+		case in.Op == isa.BR:
+			d.Taken = true
+			next = uint64(in.Imm)
+		case in.Op == isa.JSR:
+			d.Taken = true
+			d.Result = m.PC + 1
+			m.setReg(in.Dst, d.Result)
+			next = uint64(in.Imm)
+		case in.Op == isa.JMP:
+			d.Taken = true
+			next = m.Reg(in.SrcA)
+		}
+	case isa.ClassHalt:
+		d.Halt = true
+		m.halt = true
+	}
+	m.PC = next
+	d.NextPC = next
+	return d
+}
+
+// Run executes until HALT or until max instructions have run (max <= 0
+// means unlimited). It returns the number of instructions executed.
+func (m *Machine) Run(max uint64) uint64 {
+	start := m.seq
+	for !m.halt {
+		if max > 0 && m.seq-start >= max {
+			break
+		}
+		m.Step()
+	}
+	return m.seq - start
+}
+
+// RunProgram executes p to completion (bounded by max when max > 0) and
+// returns the final machine, for tests that check architectural results.
+func RunProgram(p *Program, max uint64) *Machine {
+	m := New(p)
+	m.Run(max)
+	return m
+}

@@ -1,0 +1,296 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func ireg(i int) isa.Reg { return isa.IntReg(i) }
+
+func aluImm(op isa.Op, a isa.Reg, imm int64, dst isa.Reg) isa.Inst {
+	return isa.Inst{Op: op, SrcA: a, Imm: imm, HasImm: true, Dst: dst, SrcB: isa.NoReg}
+}
+
+func aluReg(op isa.Op, a, b, dst isa.Reg) isa.Inst {
+	return isa.Inst{Op: op, SrcA: a, SrcB: b, Dst: dst}
+}
+
+func ldi(v int64, dst isa.Reg) isa.Inst {
+	return isa.Inst{Op: isa.LDI, Imm: v, HasImm: true, Dst: dst, SrcA: isa.NoReg, SrcB: isa.NoReg}
+}
+
+func prog(code ...isa.Inst) *Program {
+	return &Program{Name: "test", Code: code}
+}
+
+func TestEvalALUIntOps(t *testing.T) {
+	cases := []struct {
+		op      isa.Op
+		a, b, w uint64
+	}{
+		{isa.ADD, 3, 4, 7},
+		{isa.ADD, math.MaxUint64, 1, 0},
+		{isa.SUB, 3, 4, ^uint64(0)},
+		{isa.AND, 0b1100, 0b1010, 0b1000},
+		{isa.OR, 0b1100, 0b1010, 0b1110},
+		{isa.XOR, 0b1100, 0b1010, 0b0110},
+		{isa.SLL, 1, 63, 1 << 63},
+		{isa.SLL, 1, 64, 1}, // shift counts are mod 64
+		{isa.SRL, 1 << 63, 63, 1},
+		{isa.SRA, uint64(0x8000000000000000), 63, ^uint64(0)},
+		{isa.CMPEQ, 5, 5, 1},
+		{isa.CMPEQ, 5, 6, 0},
+		{isa.CMPLT, uint64(0xFFFFFFFFFFFFFFFF), 0, 1}, // -1 < 0 signed
+		{isa.CMPULT, uint64(0xFFFFFFFFFFFFFFFF), 0, 0},
+		{isa.CMPLE, 7, 7, 1},
+		{isa.MUL, 7, 6, 42},
+		{isa.MULH, 1 << 63, 2, 1},
+		{isa.DIV, uint64(^uint64(6) + 1), 3, ^uint64(1) + 0}, // -7/3 = -2
+		{isa.DIV, 10, 0, 0},
+		{isa.REM, 10, 3, 1},
+		{isa.REM, 10, 0, 0},
+		{isa.MOV, 99, 0, 99},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.w {
+			t.Errorf("EvalALU(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestEvalALUFloatOps(t *testing.T) {
+	fb := math.Float64bits
+	cases := []struct {
+		op      isa.Op
+		a, b, w uint64
+	}{
+		{isa.FADD, fb(1.5), fb(2.25), fb(3.75)},
+		{isa.FSUB, fb(1.5), fb(2.25), fb(-0.75)},
+		{isa.FMUL, fb(3), fb(4), fb(12)},
+		{isa.FDIV, fb(1), fb(4), fb(0.25)},
+		{isa.FNEG, fb(2.5), 0, fb(-2.5)},
+		{isa.FCMPEQ, fb(2), fb(2), 1},
+		{isa.FCMPLT, fb(1), fb(2), 1},
+		{isa.FCMPLT, fb(2), fb(1), 0},
+		{isa.ITOF, ^uint64(2), 0, fb(-3)}, // ^2 is two's-complement -3
+		{isa.FTOI, fb(-3.7), 0, ^uint64(2)},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.w {
+			t.Errorf("EvalALU(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalALU(LDQ) should panic")
+		}
+	}()
+	EvalALU(isa.LDQ, 0, 0)
+}
+
+func TestMULHMatchesBigMul(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi := EvalALU(isa.MULH, a, b)
+		lo := EvalALU(isa.MUL, a, b)
+		// Verify via 4x32 schoolbook independently.
+		a0, a1 := a&0xFFFFFFFF, a>>32
+		b0, b1 := b&0xFFFFFFFF, b>>32
+		t0 := a0 * b0
+		t1 := a1*b0 + t0>>32
+		t2 := a0*b1 + t1&0xFFFFFFFF
+		wantLo := t0&0xFFFFFFFF | t2<<32
+		wantHi := a1*b1 + t1>>32 + t2>>32
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg := ^uint64(0) // -1
+	cases := []struct {
+		op   isa.Op
+		a    uint64
+		want bool
+	}{
+		{isa.BEQ, 0, true}, {isa.BEQ, 1, false},
+		{isa.BNE, 0, false}, {isa.BNE, 5, true},
+		{isa.BLT, neg, true}, {isa.BLT, 0, false},
+		{isa.BGE, 0, true}, {isa.BGE, neg, false},
+		{isa.BLE, 0, true}, {isa.BLE, neg, true}, {isa.BLE, 1, false},
+		{isa.BGT, 1, true}, {isa.BGT, 0, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a); got != c.want {
+			t.Errorf("BranchTaken(%v, %#x) = %v, want %v", c.op, c.a, got, c.want)
+		}
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	p := prog(
+		ldi(5, isa.ZeroReg),                            // write to zero reg discarded
+		aluImm(isa.ADD, isa.ZeroReg, 7, ireg(1)),       // r1 = 0 + 7
+		aluReg(isa.ADD, ireg(1), isa.ZeroReg, ireg(2)), // r2 = 7 + 0
+		isa.Inst{Op: isa.HALT},
+	)
+	m := RunProgram(p, 0)
+	if m.Reg(isa.ZeroReg) != 0 {
+		t.Error("zero register must stay zero")
+	}
+	if m.Reg(ireg(1)) != 7 || m.Reg(ireg(2)) != 7 {
+		t.Errorf("r1=%d r2=%d, want 7 7", m.Reg(ireg(1)), m.Reg(ireg(2)))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p := prog(
+		ldi(0x1000, ireg(1)),
+		ldi(0xABCD, ireg(2)),
+		isa.Inst{Op: isa.STQ, SrcA: ireg(1), SrcB: ireg(2), Imm: 8, HasImm: true, Dst: isa.NoReg},
+		isa.Inst{Op: isa.LDQ, SrcA: ireg(1), Imm: 8, HasImm: true, Dst: ireg(3), SrcB: isa.NoReg},
+		isa.Inst{Op: isa.HALT},
+	)
+	m := RunProgram(p, 0)
+	if got := m.Reg(ireg(3)); got != 0xABCD {
+		t.Errorf("loaded %#x, want 0xABCD", got)
+	}
+	if got := m.Mem.Load64(0x1008); got != 0xABCD {
+		t.Errorf("memory holds %#x", got)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// r1 = 10; r2 = 0; loop: r2 += r1; r1 -= 1; bne r1, loop
+	p := prog(
+		ldi(10, ireg(1)),
+		ldi(0, ireg(2)),
+		aluReg(isa.ADD, ireg(2), ireg(1), ireg(2)), // pc 2
+		aluImm(isa.SUB, ireg(1), 1, ireg(1)),
+		isa.Inst{Op: isa.BNE, SrcA: ireg(1), Imm: 2, HasImm: true, Dst: isa.NoReg, SrcB: isa.NoReg},
+		isa.Inst{Op: isa.HALT},
+	)
+	m := RunProgram(p, 0)
+	if got := m.Reg(ireg(2)); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if m.InstCount() != 2+3*10+1 {
+		t.Errorf("executed %d instructions", m.InstCount())
+	}
+}
+
+func TestJSRAndJMP(t *testing.T) {
+	// call a function that doubles r1, then halt.
+	p := prog(
+		ldi(21, ireg(1)),
+		isa.Inst{Op: isa.JSR, Dst: ireg(26), Imm: 4, HasImm: true, SrcA: isa.NoReg, SrcB: isa.NoReg}, // pc1 -> fn at 4
+		isa.Inst{Op: isa.HALT},                     // pc 2 (return lands at 2)
+		isa.Inst{Op: isa.NOP},                      // pc 3 unused
+		aluReg(isa.ADD, ireg(1), ireg(1), ireg(1)), // pc 4: fn
+		isa.Inst{Op: isa.JMP, SrcA: ireg(26), Dst: isa.NoReg, SrcB: isa.NoReg}, // pc 5
+	)
+	m := RunProgram(p, 0)
+	if got := m.Reg(ireg(1)); got != 42 {
+		t.Errorf("r1 = %d, want 42", got)
+	}
+	if got := m.Reg(ireg(26)); got != 2 {
+		t.Errorf("link = %d, want 2", got)
+	}
+}
+
+func TestDynInstRecords(t *testing.T) {
+	p := prog(
+		ldi(3, ireg(1)),
+		aluImm(isa.ADD, ireg(1), 4, ireg(2)),
+		isa.Inst{Op: isa.STQ, SrcA: ireg(1), SrcB: ireg(2), Imm: 5, HasImm: true, Dst: isa.NoReg},
+		isa.Inst{Op: isa.BEQ, SrcA: isa.ZeroReg, Imm: 5, HasImm: true, Dst: isa.NoReg, SrcB: isa.NoReg},
+		isa.Inst{Op: isa.NOP},
+		isa.Inst{Op: isa.HALT},
+	)
+	m := New(p)
+	d0 := m.Step()
+	if d0.Seq != 0 || d0.PC != 0 || d0.Result != 3 {
+		t.Errorf("ldi record: %+v", d0)
+	}
+	d1 := m.Step()
+	if d1.SrcVals[0] != 3 || d1.Result != 7 || d1.NextPC != 2 {
+		t.Errorf("add record: %+v", d1)
+	}
+	d2 := m.Step()
+	if d2.Addr != 8 || d2.StoreVal != 7 {
+		t.Errorf("store record: addr=%#x val=%d", d2.Addr, d2.StoreVal)
+	}
+	d3 := m.Step()
+	if !d3.Taken || d3.NextPC != 5 {
+		t.Errorf("branch record: %+v", d3)
+	}
+	d4 := m.Step()
+	if !d4.Halt {
+		t.Errorf("halt record: %+v", d4)
+	}
+	if m.Step() != nil {
+		t.Error("Step after halt should return nil")
+	}
+	if !m.Halted() {
+		t.Error("machine should report halted")
+	}
+}
+
+func TestRunBound(t *testing.T) {
+	// Infinite loop; Run must stop at the bound.
+	p := prog(isa.Inst{Op: isa.BR, Imm: 0, HasImm: true, SrcA: isa.NoReg, SrcB: isa.NoReg, Dst: isa.NoReg})
+	m := New(p)
+	if n := m.Run(1000); n != 1000 {
+		t.Errorf("Run(1000) executed %d", n)
+	}
+	if m.Halted() {
+		t.Error("machine should not be halted")
+	}
+}
+
+func TestPCOutOfRangePanics(t *testing.T) {
+	p := prog(ldi(1, ireg(1))) // falls off the end
+	m := New(p)
+	m.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when PC runs off program end")
+		}
+	}()
+	m.Step()
+}
+
+// Property: EvalALU is deterministic and MOV/LDI are identities.
+func TestQuickEvalIdentities(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return EvalALU(isa.MOV, a, b) == a &&
+			EvalALU(isa.ADD, a, 0) == a &&
+			EvalALU(isa.SUB, a, 0) == a &&
+			EvalALU(isa.XOR, a, a) == 0 &&
+			EvalALU(isa.OR, a, a) == a &&
+			EvalALU(isa.AND, a, a) == a &&
+			EvalALU(isa.ADD, a, b) == EvalALU(isa.ADD, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MUL by a power of two equals SLL by its log — the identity the
+// optimizer's strength reduction relies on.
+func TestQuickStrengthReductionIdentity(t *testing.T) {
+	f := func(a uint64, k uint8) bool {
+		sh := uint64(k % 64)
+		return EvalALU(isa.MUL, a, 1<<sh) == EvalALU(isa.SLL, a, sh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package emu_test
+
+// Integration tests driving the emulator through assembled programs,
+// one per instruction family, so the assembler/emulator pair is checked
+// end to end (the unit tests in emu_test.go build isa.Inst directly).
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func runSrc(t *testing.T, src string) *emu.Machine {
+	t.Helper()
+	p, err := asm.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if m.Run(1_000_000); !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func intReg(m *emu.Machine, i int) int64 { return int64(m.Reg(isa.IntReg(i))) }
+
+func TestComplexIntegerOps(t *testing.T) {
+	m := runSrc(t, `
+start:
+    ldi -91 -> r1
+    ldi 7 -> r2
+    div r1, r2 -> r3      ; -13
+    rem r1, r2 -> r4      ; 0
+    ldi 3 -> r5
+    rem r1, r5 -> r6      ; -1 (Go semantics: trunc toward zero)
+    mulh r1, r1 -> r7     ; high bits of (-91)^2 interpreted unsigned
+    mul r1, r2 -> r8      ; -637
+    halt
+`)
+	if got := intReg(m, 3); got != -13 {
+		t.Errorf("div = %d, want -13", got)
+	}
+	if got := intReg(m, 4); got != 0 {
+		t.Errorf("rem = %d, want 0", got)
+	}
+	if got := intReg(m, 6); got != -1 {
+		t.Errorf("rem by 3 = %d, want -1", got)
+	}
+	if got := intReg(m, 8); got != -637 {
+		t.Errorf("mul = %d, want -637", got)
+	}
+}
+
+func TestFloatingPointProgram(t *testing.T) {
+	m := runSrc(t, `
+start:
+    ldi 9 -> r1
+    itof r1 -> f1         ; 9.0
+    ldi 2 -> r2
+    itof r2 -> f2         ; 2.0
+    fdiv f1, f2 -> f3     ; 4.5
+    fadd f3, f3 -> f4     ; 9.0
+    fsub f4, f2 -> f5     ; 7.0
+    fneg f5 -> f6         ; -7.0
+    fmul f6, f2 -> f7     ; -14.0
+    ftoi f7 -> r3         ; -14
+    fcmpeq f4, f1 -> r4   ; 1 (9.0 == 9.0)
+    fcmplt f6, f2 -> r5   ; 1 (-7 < 2)
+    fmov f3 -> f8
+    ftoi f8 -> r6         ; 4 (truncated 4.5)
+    halt
+`)
+	if got := intReg(m, 3); got != -14 {
+		t.Errorf("fp chain = %d, want -14", got)
+	}
+	if got := intReg(m, 4); got != 1 {
+		t.Errorf("fcmpeq = %d, want 1", got)
+	}
+	if got := intReg(m, 5); got != 1 {
+		t.Errorf("fcmplt = %d, want 1", got)
+	}
+	if got := intReg(m, 6); got != 4 {
+		t.Errorf("ftoi 4.5 = %d, want 4", got)
+	}
+}
+
+func TestShiftAndLogicProgram(t *testing.T) {
+	m := runSrc(t, `
+start:
+    ldi 1 -> r1
+    sll r1, 40 -> r2
+    srl r2, 35 -> r3      ; 32
+    ldi -64 -> r4
+    sra r4, 4 -> r5       ; -4
+    srl r4, 60 -> r6      ; 15 (logical shift of the sign bits)
+    and r3, 48 -> r7      ; 32
+    or r7, 3 -> r8        ; 35
+    xor r8, r8 -> r9      ; 0
+    halt
+`)
+	if got := intReg(m, 3); got != 32 {
+		t.Errorf("sll/srl = %d, want 32", got)
+	}
+	if got := intReg(m, 5); got != -4 {
+		t.Errorf("sra = %d, want -4", got)
+	}
+	if got := intReg(m, 6); got != 15 {
+		t.Errorf("srl of negative = %d, want 15", got)
+	}
+	if got := intReg(m, 8); got != 35 {
+		t.Errorf("and/or = %d, want 35", got)
+	}
+	if got := intReg(m, 9); got != 0 {
+		t.Errorf("xor self = %d, want 0", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	// f(x) = g(x)+1, g(x) = 2x, called through a second link register.
+	m := runSrc(t, `
+start:
+    ldi 5 -> r1
+    jsr ra, f
+    halt
+f:
+    mov ra -> r25
+    jsr ra, g
+    add r1, 1 -> r1
+    jmp r25
+g:
+    add r1, r1 -> r1
+    jmp ra
+`)
+	if got := intReg(m, 1); got != 11 {
+		t.Errorf("f(5) = %d, want 11", got)
+	}
+}
+
+func TestAllConditionalBranchesProgram(t *testing.T) {
+	// Each branch contributes a distinct bit when its condition holds.
+	m := runSrc(t, `
+start:
+    ldi 0 -> r10
+    ldi 0 -> r1
+    ldi 1 -> r2
+    ldi -1 -> r3
+    beq r1, b1
+    br n1
+b1: or r10, 1 -> r10
+n1: bne r2, b2
+    br n2
+b2: or r10, 2 -> r10
+n2: blt r3, b3
+    br n3
+b3: or r10, 4 -> r10
+n3: bge r1, b4
+    br n4
+b4: or r10, 8 -> r10
+n4: ble r1, b5
+    br n5
+b5: or r10, 16 -> r10
+n5: bgt r2, b6
+    br done
+b6: or r10, 32 -> r10
+done:
+    halt
+`)
+	if got := intReg(m, 10); got != 63 {
+		t.Errorf("branch condition bits = %b, want 111111", got)
+	}
+}

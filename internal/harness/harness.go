@@ -1,0 +1,292 @@
+// Package harness runs the paper's experiments: it simulates benchmark
+// suites under machine-configuration variants and formats the same rows
+// and series the paper's tables and figures report.
+//
+// One function per paper artifact: Table1, Figure6, Table3, Figure8,
+// Figure9, Figure10, Figure11, Figure12, plus ablations beyond the paper
+// (MBC size, store policy, minor-optimization toggles).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Scale overrides each benchmark's default iteration scale when > 0.
+	// Experiments at Scale 1 run in seconds; the default scales match
+	// the EXPERIMENTS.md numbers.
+	Scale int
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Machine is the base machine template (zero value = DefaultConfig).
+	Machine pipeline.Config
+}
+
+func (o Options) machine() pipeline.Config {
+	if o.Machine.PRegs == 0 {
+		return pipeline.DefaultConfig()
+	}
+	return o.Machine
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// job is one (benchmark, config) simulation.
+type job struct {
+	bench *workloads.Benchmark
+	cfg   pipeline.Config
+	out   **pipeline.Result
+}
+
+// runAll executes jobs with bounded parallelism.
+func (o Options) runAll(jobs []job) {
+	sem := make(chan struct{}, o.workers())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			*j.out = pipeline.Run(j.cfg, j.bench.Program(o.Scale))
+		}(j)
+	}
+	wg.Wait()
+}
+
+// suiteRun holds one benchmark's results across a set of configurations.
+type suiteRun struct {
+	bench   *workloads.Benchmark
+	results []*pipeline.Result // parallel to the config list
+}
+
+// runMatrix simulates every benchmark under every configuration.
+func (o Options) runMatrix(benches []*workloads.Benchmark, cfgs []pipeline.Config) []suiteRun {
+	runs := make([]suiteRun, len(benches))
+	var jobs []job
+	for i, b := range benches {
+		runs[i] = suiteRun{bench: b, results: make([]*pipeline.Result, len(cfgs))}
+		for c := range cfgs {
+			jobs = append(jobs, job{bench: b, cfg: cfgs[c], out: &runs[i].results[c]})
+		}
+	}
+	o.runAll(jobs)
+	return runs
+}
+
+// geomean returns the geometric mean of xs (0 for empty input).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// suiteGeomean averages per-benchmark speedups within each suite and
+// returns suite name -> geomean, in paper suite order.
+func suiteGeomean(runs []suiteRun, speedup func(suiteRun) float64) ([]string, map[string]float64) {
+	per := map[string][]float64{}
+	for _, r := range runs {
+		per[r.bench.Suite] = append(per[r.bench.Suite], speedup(r))
+	}
+	out := map[string]float64{}
+	for _, s := range workloads.Suites() {
+		out[s] = geomean(per[s])
+	}
+	return workloads.Suites(), out
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Table1 prints the workload inventory with dynamic instruction counts
+// at the effective scale (the analog of the paper's Table 1).
+func (o Options) Table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1 — Experimental workload (dynamic instruction counts at current scale)")
+	type row struct {
+		b *workloads.Benchmark
+		n uint64
+	}
+	rows := make([]row, len(workloads.All()))
+	sem := make(chan struct{}, o.workers())
+	var wg sync.WaitGroup
+	for i, b := range workloads.All() {
+		rows[i].b = b
+		wg.Add(1)
+		go func(i int, b *workloads.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := emu.New(b.Program(o.Scale))
+			m.Run(0)
+			rows[i].n = m.InstCount()
+		}(i, b)
+	}
+	wg.Wait()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "suite\tname\tinsts\tdescription")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", r.b.Suite, r.b.Name, r.n, r.b.Notes)
+	}
+	return tw.Flush()
+}
+
+// Speedup is one per-benchmark data point of Figure 6, with the raw
+// results attached for deeper analysis.
+type Speedup struct {
+	Suite, Name string
+	Speedup     float64
+	Base, Opt   *pipeline.Result
+}
+
+// Figure6Data runs the headline comparison and returns per-benchmark
+// speedups in suite order — the machine-readable form of Figure6.
+func (o Options) Figure6Data() []Speedup {
+	base := o.machine().Baseline()
+	opt := o.machine()
+	runs := o.runMatrix(workloads.All(), []pipeline.Config{base, opt})
+	out := make([]Speedup, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, Speedup{
+			Suite:   r.bench.Suite,
+			Name:    r.bench.Name,
+			Speedup: r.results[1].SpeedupOver(r.results[0]),
+			Base:    r.results[0],
+			Opt:     r.results[1],
+		})
+	}
+	return out
+}
+
+// Figure6 prints per-benchmark speedup of continuous optimization over
+// the baseline machine, grouped by suite with geometric-mean bars.
+func (o Options) Figure6(w io.Writer) error {
+	data := o.Figure6Data()
+
+	fmt.Fprintln(w, "Figure 6 — Speedup of continuous optimization over baseline")
+	tw := newTab(w)
+	cur := ""
+	var suiteVals []float64
+	flush := func() {
+		if cur != "" {
+			fmt.Fprintf(tw, "%s\tavg\t%.3f\n", cur, geomean(suiteVals))
+		}
+		suiteVals = nil
+	}
+	for _, d := range data {
+		if d.Suite != cur {
+			flush()
+			cur = d.Suite
+		}
+		suiteVals = append(suiteVals, d.Speedup)
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\n", d.Suite, d.Name, d.Speedup)
+	}
+	flush()
+	return tw.Flush()
+}
+
+// Effects is one row of Table 3: the percentage effects of continuous
+// optimization aggregated over a suite (or overall, for Name "avg").
+type Effects struct {
+	Name string
+	// ExecEarly is the share of the instruction stream executed in the
+	// optimizer.
+	ExecEarly float64
+	// MispredRecovered is the share of mispredicted branches resolved in
+	// the optimizer.
+	MispredRecovered float64
+	// AddrGen is the share of memory operations whose effective address
+	// was generated in the optimizer.
+	AddrGen float64
+	// LoadsRemoved is the share of loads converted to moves by RLE/SF.
+	LoadsRemoved float64
+}
+
+// Table3Data runs the default optimized machine over the full workload
+// and returns one Effects row per suite plus an overall "avg" row — the
+// machine-readable form of Table3.
+func (o Options) Table3Data() []Effects {
+	runs := o.runMatrix(workloads.All(), []pipeline.Config{o.machine()})
+
+	type agg struct {
+		early, renamed          uint64
+		recovered, mispredicted uint64
+		addrKnown, memOps       uint64
+		loadsRemoved, loads     uint64
+	}
+	per := map[string]*agg{}
+	total := &agg{}
+	for _, r := range runs {
+		a := per[r.bench.Suite]
+		if a == nil {
+			a = &agg{}
+			per[r.bench.Suite] = a
+		}
+		res := r.results[0]
+		for _, dst := range []*agg{a, total} {
+			dst.early += res.Opt.EarlyExecuted
+			dst.renamed += res.Opt.Renamed
+			dst.recovered += res.EarlyRecovered
+			dst.mispredicted += res.Mispredicted
+			dst.addrKnown += res.Opt.AddrKnown
+			dst.memOps += res.Opt.MemOps
+			dst.loadsRemoved += res.Opt.LoadsRemoved
+			dst.loads += res.Opt.Loads
+		}
+	}
+	pct := func(n, d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	row := func(name string, a *agg) Effects {
+		return Effects{
+			Name:             name,
+			ExecEarly:        pct(a.early, a.renamed),
+			MispredRecovered: pct(a.recovered, a.mispredicted),
+			AddrGen:          pct(a.addrKnown, a.memOps),
+			LoadsRemoved:     pct(a.loadsRemoved, a.loads),
+		}
+	}
+	out := make([]Effects, 0, 4)
+	for _, s := range workloads.Suites() {
+		out = append(out, row(s, per[s]))
+	}
+	return append(out, row("avg", total))
+}
+
+// Table3 prints the effects of continuous optimization per suite: %
+// instructions executed early, % mispredicted branches recovered in the
+// optimizer, % memory ops with optimizer-generated addresses, and %
+// loads removed.
+func (o Options) Table3(w io.Writer) error {
+	fmt.Fprintln(w, "Table 3 — Effects of continuous optimization")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "benchmark\texec. early\trecov. mispred. brs.\tld/st addr. gen.\tlds removed")
+	for _, e := range o.Table3Data() {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n", e.Name,
+			e.ExecEarly, e.MispredRecovered, e.AddrGen, e.LoadsRemoved)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,373 @@
+// Package isa defines CO64, the 64-bit load/store instruction set used by
+// the continuous-optimization reproduction.
+//
+// CO64 is deliberately Alpha-flavored, matching the ISA the paper's
+// SimpleScalar-based evaluation used: 32 integer registers (r31 hardwired
+// to zero), 32 floating-point registers (f31 hardwired to zero), simple
+// three-operand register/immediate ALU forms, displacement-addressed
+// 8-byte loads and stores, and compare-register-against-zero conditional
+// branches. Instructions are represented as decoded structs rather than
+// binary words; the assembler (internal/asm) builds them directly.
+package isa
+
+import "fmt"
+
+// Reg names one of the 64 architectural registers. Integer registers are
+// indices 0..31 and floating-point registers 32..63. R31 and F31 read as
+// zero and writes to them are discarded.
+type Reg uint8
+
+// Register bank layout.
+const (
+	// NumIntRegs is the number of architectural integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of architectural floating-point registers.
+	NumFPRegs = 32
+	// NumRegs is the total architectural register count across both banks.
+	NumRegs = NumIntRegs + NumFPRegs
+
+	// ZeroReg is the hardwired-zero integer register (r31).
+	ZeroReg Reg = 31
+	// FZeroReg is the hardwired-zero floating-point register (f31).
+	FZeroReg Reg = 63
+	// NoReg marks an absent operand.
+	NoReg Reg = 255
+)
+
+// IntReg returns the integer register with the given index (0..31).
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FPReg returns the floating-point register with the given index (0..31).
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// IsZero reports whether r is one of the hardwired-zero registers.
+func (r Reg) IsZero() bool { return r == ZeroReg || r == FZeroReg }
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembly name of the register ("r4", "f17", "-").
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// Op enumerates CO64 opcodes.
+type Op uint8
+
+// Opcodes. The groupings below mirror the execution-unit classes of the
+// simulated machine (Table 2 of the paper): simple integer operations
+// execute in one cycle and are candidates for early execution in the
+// optimizer; complex integer and floating-point operations are not.
+const (
+	NOP Op = iota
+
+	// Simple integer ALU (register-register or register-immediate).
+	ADD    // dst = a + b
+	SUB    // dst = a - b
+	AND    // dst = a & b
+	OR     // dst = a | b
+	XOR    // dst = a ^ b
+	SLL    // dst = a << (b & 63)
+	SRL    // dst = uint64(a) >> (b & 63)
+	SRA    // dst = int64(a) >> (b & 63)
+	CMPEQ  // dst = (a == b) ? 1 : 0
+	CMPLT  // dst = (int64(a) < int64(b)) ? 1 : 0
+	CMPLE  // dst = (int64(a) <= int64(b)) ? 1 : 0
+	CMPULT // dst = (a < b) ? 1 : 0
+	MOV    // dst = a (register move; collapsed by the optimizer)
+	LDI    // dst = imm (load immediate)
+
+	// Complex integer (multi-cycle, single complex-IALU unit).
+	MUL  // dst = a * b (low 64 bits)
+	MULH // dst = high 64 bits of unsigned a*b
+	DIV  // dst = int64(a) / int64(b); 0 when b == 0
+	REM  // dst = int64(a) % int64(b); 0 when b == 0
+
+	// Floating point (IEEE float64 in f-registers).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FCMPEQ // integer dst = (fa == fb) ? 1 : 0
+	FCMPLT // integer dst = (fa < fb) ? 1 : 0
+	FMOV
+	ITOF // float dst = float64(int64(a))
+	FTOI // integer dst = int64(fa)
+
+	// Memory (naturally aligned). Effective address = a + Imm.
+	// LDQ/STQ move 8 bytes; LDL/STL move 4 (LDL sign-extends, as on
+	// Alpha). The Memory Bypass Cache tags entries with offset and size
+	// (§3.2), so differently-sized accesses never forward to each other.
+	LDQ  // integer dst = mem[a+imm]
+	STQ  // mem[a+imm] = b (integer source)
+	LDL  // integer dst = signext32(mem[a+imm])
+	STL  // mem[a+imm] = low32(b)
+	FLDQ // fp dst = mem[a+imm]
+	FSTQ // mem[a+imm] = fb (fp source)
+
+	// Control. Conditional branches test register a against zero and
+	// jump to the absolute instruction index in Imm when the condition
+	// holds. BR is unconditional; JSR stores the return PC in dst and
+	// jumps; JMP jumps to the address held in register a (used for
+	// returns and computed dispatch).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLE
+	BGT
+	BR
+	JSR
+	JMP
+
+	HALT // stop the machine
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	CMPEQ: "cmpeq", CMPLT: "cmplt", CMPLE: "cmple", CMPULT: "cmpult",
+	MOV: "mov", LDI: "ldi",
+	MUL: "mul", MULH: "mulh", DIV: "div", REM: "rem",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FNEG: "fneg",
+	FCMPEQ: "fcmpeq", FCMPLT: "fcmplt", FMOV: "fmov", ITOF: "itof", FTOI: "ftoi",
+	LDQ: "ldq", STQ: "stq", LDL: "ldl", STL: "stl", FLDQ: "fldq", FSTQ: "fstq",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLE: "ble", BGT: "bgt",
+	BR: "br", JSR: "jsr", JMP: "jmp",
+	HALT: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// NumOps is the number of defined opcodes (exported for table-driven tests).
+const NumOps = int(numOps)
+
+// Class groups opcodes by the execution resources they require, mirroring
+// the scheduler/unit split in Table 2 of the paper.
+type Class uint8
+
+// Execution classes.
+const (
+	ClassNop Class = iota
+	// ClassSimpleInt covers one-cycle integer operations eligible for
+	// early execution inside the optimizer.
+	ClassSimpleInt
+	// ClassComplexInt covers multi-cycle integer operations (the single
+	// complex-IALU pipeline).
+	ClassComplexInt
+	// ClassFP covers floating-point arithmetic.
+	ClassFP
+	// ClassLoad and ClassStore cover memory operations.
+	ClassLoad
+	ClassStore
+	// ClassBranch covers control transfers (one-cycle; eligible for
+	// early resolution in the optimizer).
+	ClassBranch
+	// ClassHalt terminates simulation.
+	ClassHalt
+)
+
+var opClasses = [numOps]Class{
+	NOP: ClassNop,
+	ADD: ClassSimpleInt, SUB: ClassSimpleInt, AND: ClassSimpleInt,
+	OR: ClassSimpleInt, XOR: ClassSimpleInt,
+	SLL: ClassSimpleInt, SRL: ClassSimpleInt, SRA: ClassSimpleInt,
+	CMPEQ: ClassSimpleInt, CMPLT: ClassSimpleInt, CMPLE: ClassSimpleInt,
+	CMPULT: ClassSimpleInt, MOV: ClassSimpleInt, LDI: ClassSimpleInt,
+	MUL: ClassComplexInt, MULH: ClassComplexInt, DIV: ClassComplexInt, REM: ClassComplexInt,
+	FADD: ClassFP, FSUB: ClassFP, FMUL: ClassFP, FDIV: ClassFP, FNEG: ClassFP,
+	FCMPEQ: ClassFP, FCMPLT: ClassFP, FMOV: ClassFP, ITOF: ClassFP, FTOI: ClassFP,
+	LDQ: ClassLoad, LDL: ClassLoad, FLDQ: ClassLoad,
+	STQ: ClassStore, STL: ClassStore, FSTQ: ClassStore,
+	BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch, BGE: ClassBranch,
+	BLE: ClassBranch, BGT: ClassBranch, BR: ClassBranch, JSR: ClassBranch, JMP: ClassBranch,
+	HALT: ClassHalt,
+}
+
+// Class returns the execution class of the opcode.
+func (o Op) Class() Class {
+	if !o.Valid() {
+		return ClassNop
+	}
+	return opClasses[o]
+}
+
+// IsSimple reports whether the opcode executes in a single cycle on a
+// simple ALU — the paper's eligibility condition for early execution.
+func (o Op) IsSimple() bool {
+	switch o.Class() {
+	case ClassSimpleInt, ClassBranch:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode is a control transfer.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE, BLE, BGT:
+		return true
+	}
+	return false
+}
+
+// IsUncondBranch reports whether the opcode transfers control
+// unconditionally.
+func (o Op) IsUncondBranch() bool {
+	switch o {
+	case BR, JSR, JMP:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses memory.
+func (o Op) IsMem() bool {
+	c := o.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether the opcode is a load.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the opcode is a store.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// MemBytes returns the access width in bytes for memory opcodes (0 for
+// non-memory opcodes).
+func (o Op) MemBytes() uint8 {
+	switch o {
+	case LDQ, STQ, FLDQ, FSTQ:
+		return 8
+	case LDL, STL:
+		return 4
+	}
+	return 0
+}
+
+// Inst is one decoded CO64 instruction.
+//
+// Operand conventions by opcode group:
+//
+//   - ALU reg form:  Dst = SrcA op SrcB
+//   - ALU imm form:  Dst = SrcA op Imm   (HasImm set, SrcB unused)
+//   - LDI:           Dst = Imm
+//   - loads:         Dst = mem[SrcA + Imm]
+//   - stores:        mem[SrcA + Imm] = SrcB
+//   - cond branch:   if SrcA cond 0 goto Imm (absolute instruction index)
+//   - BR:            goto Imm
+//   - JSR:           Dst = returnPC; goto Imm
+//   - JMP:           goto value(SrcA)
+type Inst struct {
+	Op     Op
+	Dst    Reg
+	SrcA   Reg
+	SrcB   Reg
+	Imm    int64
+	HasImm bool
+}
+
+// Sources returns the architectural source registers read by the
+// instruction, in operand order. Hardwired zero registers are included
+// (they read as constants but still occupy operand slots).
+func (in *Inst) Sources() []Reg {
+	var out []Reg
+	if in.SrcA != NoReg {
+		out = append(out, in.SrcA)
+	}
+	// SrcB is read by register-form ALU ops and, regardless of the
+	// displacement immediate, by stores (it carries the store data).
+	if in.SrcB != NoReg && (!in.HasImm || in.Op.IsStore()) {
+		out = append(out, in.SrcB)
+	}
+	return out
+}
+
+// WritesReg reports whether the instruction produces a register result,
+// and returns the destination if so. Writes to the hardwired zero
+// registers are treated as no writes.
+func (in *Inst) WritesReg() (Reg, bool) {
+	if in.Dst == NoReg || in.Dst.IsZero() {
+		return NoReg, false
+	}
+	switch in.Op.Class() {
+	case ClassStore, ClassBranch:
+		if in.Op == JSR {
+			return in.Dst, true
+		}
+		return NoReg, false
+	case ClassNop, ClassHalt:
+		return NoReg, false
+	}
+	return in.Dst, true
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Inst) String() string {
+	op := in.Op
+	switch {
+	case op == NOP || op == HALT:
+		return op.String()
+	case op == LDI:
+		return fmt.Sprintf("%s %d -> %s", op, in.Imm, in.Dst)
+	case op == MOV || op == FMOV || op == FNEG || op == ITOF || op == FTOI:
+		return fmt.Sprintf("%s %s -> %s", op, in.SrcA, in.Dst)
+	case op.IsLoad():
+		return fmt.Sprintf("%s [%s%+d] -> %s", op, in.SrcA, in.Imm, in.Dst)
+	case op.IsStore():
+		return fmt.Sprintf("%s %s -> [%s%+d]", op, in.SrcB, in.SrcA, in.Imm)
+	case op.IsCondBranch():
+		return fmt.Sprintf("%s %s, @%d", op, in.SrcA, in.Imm)
+	case op == BR:
+		return fmt.Sprintf("br @%d", in.Imm)
+	case op == JSR:
+		return fmt.Sprintf("jsr %s, @%d", in.Dst, in.Imm)
+	case op == JMP:
+		return fmt.Sprintf("jmp %s", in.SrcA)
+	case in.HasImm:
+		return fmt.Sprintf("%s %s, %d -> %s", op, in.SrcA, in.Imm, in.Dst)
+	default:
+		return fmt.Sprintf("%s %s, %s -> %s", op, in.SrcA, in.SrcB, in.Dst)
+	}
+}

@@ -1,0 +1,240 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegConstructors(t *testing.T) {
+	if r := IntReg(0); r != 0 || !r.IsInt() || r.IsFP() {
+		t.Errorf("IntReg(0) = %v", r)
+	}
+	if r := FPReg(0); r != 32 || !r.IsFP() || r.IsInt() {
+		t.Errorf("FPReg(0) = %v", r)
+	}
+	if r := IntReg(31); r != ZeroReg || !r.IsZero() {
+		t.Errorf("IntReg(31) = %v, want zero reg", r)
+	}
+	if r := FPReg(31); r != FZeroReg || !r.IsZero() {
+		t.Errorf("FPReg(31) = %v, want fp zero reg", r)
+	}
+}
+
+func TestRegConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { IntReg(-1) },
+		func() { IntReg(32) },
+		func() { FPReg(-1) },
+		func() { FPReg(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for out-of-range register index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{IntReg(0), "r0"},
+		{IntReg(31), "r31"},
+		{FPReg(0), "f0"},
+		{FPReg(17), "f17"},
+		{NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegValidity(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		if !Reg(i).Valid() {
+			t.Errorf("Reg(%d) should be valid", i)
+		}
+	}
+	if Reg(NumRegs).Valid() || NoReg.Valid() {
+		t.Error("out-of-range registers should be invalid")
+	}
+}
+
+func TestOpStringsUniqueAndDefined(t *testing.T) {
+	seen := make(map[string]Op)
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		name := op.String()
+		if strings.HasPrefix(name, "op?") {
+			t.Errorf("opcode %d has no name", i)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %v and %v share name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+	if !strings.HasPrefix(Op(200).String(), "op?") {
+		t.Error("invalid opcode should stringify as op?N")
+	}
+}
+
+func TestOpClassesAssigned(t *testing.T) {
+	for i := 1; i < NumOps; i++ {
+		op := Op(i)
+		if op.Class() == ClassNop && op != NOP {
+			t.Errorf("opcode %v has no class", op)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                               Op
+		simple, branch, mem, load, store bool
+	}{
+		{ADD, true, false, false, false, false},
+		{MUL, false, false, false, false, false},
+		{FADD, false, false, false, false, false},
+		{LDQ, false, false, true, true, false},
+		{FLDQ, false, false, true, true, false},
+		{STQ, false, false, true, false, true},
+		{FSTQ, false, false, true, false, true},
+		{BEQ, true, true, false, false, false},
+		{BR, true, true, false, false, false},
+		{JSR, true, true, false, false, false},
+		{JMP, true, true, false, false, false},
+		{MOV, true, false, false, false, false},
+		{LDI, true, false, false, false, false},
+		{HALT, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsSimple(); got != c.simple {
+			t.Errorf("%v.IsSimple() = %v, want %v", c.op, got, c.simple)
+		}
+		if got := c.op.IsBranch(); got != c.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", c.op, got, c.branch)
+		}
+		if got := c.op.IsMem(); got != c.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.op, got, c.mem)
+		}
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", c.op, got, c.load)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%v.IsStore() = %v, want %v", c.op, got, c.store)
+		}
+	}
+}
+
+func TestCondBranchPredicates(t *testing.T) {
+	cond := []Op{BEQ, BNE, BLT, BGE, BLE, BGT}
+	for _, op := range cond {
+		if !op.IsCondBranch() || op.IsUncondBranch() {
+			t.Errorf("%v should be a conditional branch", op)
+		}
+	}
+	for _, op := range []Op{BR, JSR, JMP} {
+		if op.IsCondBranch() || !op.IsUncondBranch() {
+			t.Errorf("%v should be an unconditional branch", op)
+		}
+	}
+	if ADD.IsCondBranch() || ADD.IsUncondBranch() {
+		t.Error("ADD is not a branch")
+	}
+}
+
+func TestMemBytesConsistentWithClasses(t *testing.T) {
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		if op.IsMem() && op.MemBytes() == 0 {
+			t.Errorf("%v is a memory op but reports no access width", op)
+		}
+		if !op.IsMem() && op.MemBytes() != 0 {
+			t.Errorf("%v is not a memory op but reports width %d", op, op.MemBytes())
+		}
+	}
+	if LDQ.MemBytes() != 8 || LDL.MemBytes() != 4 || STL.MemBytes() != 4 || FSTQ.MemBytes() != 8 {
+		t.Error("access widths wrong")
+	}
+}
+
+func TestInstSources(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want []Reg
+	}{
+		{"reg alu", Inst{Op: ADD, SrcA: IntReg(1), SrcB: IntReg(2), Dst: IntReg(3)}, []Reg{IntReg(1), IntReg(2)}},
+		{"imm alu", Inst{Op: ADD, SrcA: IntReg(1), HasImm: true, Imm: 4, Dst: IntReg(3)}, []Reg{IntReg(1)}},
+		{"ldi", Inst{Op: LDI, SrcA: NoReg, SrcB: NoReg, HasImm: true, Imm: 4, Dst: IntReg(3)}, nil},
+		{"load", Inst{Op: LDQ, SrcA: IntReg(1), SrcB: NoReg, HasImm: true, Imm: 8, Dst: IntReg(3)}, []Reg{IntReg(1)}},
+		{"store", Inst{Op: STQ, SrcA: IntReg(1), SrcB: IntReg(2), HasImm: true, Imm: 8, Dst: NoReg}, []Reg{IntReg(1), IntReg(2)}},
+		{"branch", Inst{Op: BEQ, SrcA: IntReg(1), SrcB: NoReg, HasImm: true, Imm: 10, Dst: NoReg}, []Reg{IntReg(1)}},
+		{"jmp", Inst{Op: JMP, SrcA: IntReg(26), SrcB: NoReg, Dst: NoReg}, []Reg{IntReg(26)}},
+	}
+	for _, c := range cases {
+		got := c.in.Sources()
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Sources() = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Sources()[%d] = %v, want %v", c.name, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if r, ok := (&Inst{Op: ADD, SrcA: IntReg(1), SrcB: IntReg(2), Dst: IntReg(3)}).WritesReg(); !ok || r != IntReg(3) {
+		t.Errorf("ADD should write r3, got %v %v", r, ok)
+	}
+	if _, ok := (&Inst{Op: ADD, SrcA: IntReg(1), SrcB: IntReg(2), Dst: ZeroReg}).WritesReg(); ok {
+		t.Error("write to zero register should report no write")
+	}
+	if _, ok := (&Inst{Op: STQ, SrcA: IntReg(1), SrcB: IntReg(2), Dst: NoReg}).WritesReg(); ok {
+		t.Error("store writes no register")
+	}
+	if _, ok := (&Inst{Op: BEQ, SrcA: IntReg(1), Dst: NoReg}).WritesReg(); ok {
+		t.Error("conditional branch writes no register")
+	}
+	if r, ok := (&Inst{Op: JSR, Dst: IntReg(26), HasImm: true, Imm: 5}).WritesReg(); !ok || r != IntReg(26) {
+		t.Error("JSR writes its link register")
+	}
+	if _, ok := (&Inst{Op: HALT, Dst: IntReg(3)}).WritesReg(); ok {
+		t.Error("HALT writes no register")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, SrcA: IntReg(1), SrcB: IntReg(2), Dst: IntReg(3)}, "add r1, r2 -> r3"},
+		{Inst{Op: ADD, SrcA: IntReg(1), HasImm: true, Imm: -4, Dst: IntReg(3)}, "add r1, -4 -> r3"},
+		{Inst{Op: LDI, HasImm: true, Imm: 42, Dst: IntReg(3)}, "ldi 42 -> r3"},
+		{Inst{Op: LDQ, SrcA: IntReg(1), HasImm: true, Imm: 8, Dst: IntReg(3)}, "ldq [r1+8] -> r3"},
+		{Inst{Op: STQ, SrcA: IntReg(1), SrcB: IntReg(2), HasImm: true, Imm: -8}, "stq r2 -> [r1-8]"},
+		{Inst{Op: BEQ, SrcA: IntReg(4), HasImm: true, Imm: 7}, "beq r4, @7"},
+		{Inst{Op: BR, HasImm: true, Imm: 3}, "br @3"},
+		{Inst{Op: JSR, Dst: IntReg(26), HasImm: true, Imm: 9}, "jsr r26, @9"},
+		{Inst{Op: JMP, SrcA: IntReg(26)}, "jmp r26"},
+		{Inst{Op: MOV, SrcA: IntReg(5), Dst: IntReg(6)}, "mov r5 -> r6"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: NOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

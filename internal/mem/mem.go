@@ -1,0 +1,143 @@
+// Package mem implements the sparse byte-addressable data memory used by
+// both the architectural emulator and the timing model. Memory is backed
+// by 4KiB pages allocated on first touch; untouched memory reads as zero.
+//
+// All CO64 data accesses are 8-byte and naturally aligned, matching the
+// paper's Memory Bypass Cache simplification that "entries are all 8-byte
+// aligned" (§3.2); Load64/Store64 enforce that alignment.
+package mem
+
+import "fmt"
+
+const (
+	pageBits = 12
+	// PageSize is the allocation granule in bytes.
+	PageSize = 1 << pageBits
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse 64-bit address space. The zero value is ready to use.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory image.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// checkAlign panics on a misaligned 8-byte access; alignment faults are
+// programming errors in the workloads, not recoverable machine events.
+func checkAlign(addr uint64) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: misaligned 8-byte access at %#x", addr))
+	}
+}
+
+// Load64 reads the 8-byte word at the naturally aligned address addr.
+func (m *Memory) Load64(addr uint64) uint64 {
+	checkAlign(addr)
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	off := addr & pageMask
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+uint64(i)])
+	}
+	return v
+}
+
+// Store64 writes the 8-byte word v at the naturally aligned address addr.
+func (m *Memory) Store64(addr uint64, v uint64) {
+	checkAlign(addr)
+	p := m.page(addr, true)
+	off := addr & pageMask
+	for i := 0; i < 8; i++ {
+		p[off+uint64(i)] = byte(v)
+		v >>= 8
+	}
+}
+
+// Load32 reads the 4-byte word at the naturally aligned address addr.
+func (m *Memory) Load32(addr uint64) uint32 {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: misaligned 4-byte access at %#x", addr))
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	off := addr & pageMask
+	var v uint32
+	for i := 3; i >= 0; i-- {
+		v = v<<8 | uint32(p[off+uint64(i)])
+	}
+	return v
+}
+
+// Store32 writes the 4-byte word v at the naturally aligned address addr.
+func (m *Memory) Store32(addr uint64, v uint32) {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: misaligned 4-byte access at %#x", addr))
+	}
+	p := m.page(addr, true)
+	off := addr & pageMask
+	for i := 0; i < 4; i++ {
+		p[off+uint64(i)] = byte(v)
+		v >>= 8
+	}
+}
+
+// LoadByte reads one byte (used by image loading and debugging tools).
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// WriteBlock copies data into memory starting at addr (any alignment).
+func (m *Memory) WriteBlock(addr uint64, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// PageCount returns the number of resident pages (for tests and stats).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory image. The timing model clones
+// the initial image so that oracle and replayed executions cannot alias.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		np := new([PageSize]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}

@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadsZero(t *testing.T) {
+	m := New()
+	if v := m.Load64(0x1000); v != 0 {
+		t.Errorf("untouched memory read %#x, want 0", v)
+	}
+	var zero Memory
+	if v := zero.Load64(8); v != 0 {
+		t.Errorf("zero-value Memory read %#x, want 0", v)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := New()
+	addrs := []uint64{0, 8, 0xFF8, 0x1000, 0x12345678 &^ 7, 1 << 40}
+	for i, a := range addrs {
+		want := uint64(0xDEADBEEF00+i) * 0x9E3779B97F4A7C15
+		m.Store64(a, want)
+		if got := m.Load64(a); got != want {
+			t.Errorf("Load64(%#x) = %#x, want %#x", a, got, want)
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Store64(0x100, 0x0807060504030201)
+	for i := 0; i < 8; i++ {
+		if got := m.LoadByte(0x100 + uint64(i)); got != byte(i+1) {
+			t.Errorf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+}
+
+func TestCrossPageAdjacency(t *testing.T) {
+	m := New()
+	// Two words straddling a page boundary must not interfere.
+	m.Store64(PageSize-8, 0x1111111111111111)
+	m.Store64(PageSize, 0x2222222222222222)
+	if got := m.Load64(PageSize - 8); got != 0x1111111111111111 {
+		t.Errorf("word before boundary = %#x", got)
+	}
+	if got := m.Load64(PageSize); got != 0x2222222222222222 {
+		t.Errorf("word after boundary = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestMisalignedAccessPanics(t *testing.T) {
+	m := New()
+	for _, a := range []uint64{1, 2, 3, 4, 5, 6, 7, 0x1001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Load64(%#x) should panic", a)
+				}
+			}()
+			m.Load64(a)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Store64(%#x) should panic", a)
+				}
+			}()
+			m.Store64(a, 1)
+		}()
+	}
+}
+
+func TestWriteBlock(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	m.WriteBlock(PageSize-5, data) // straddles a page boundary
+	for i, want := range data {
+		if got := m.LoadByte(PageSize - 5 + uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Store64(0x100, 42)
+	c := m.Clone()
+	if got := c.Load64(0x100); got != 42 {
+		t.Errorf("clone read %d, want 42", got)
+	}
+	c.Store64(0x100, 99)
+	if got := m.Load64(0x100); got != 42 {
+		t.Errorf("mutating clone changed original: %d", got)
+	}
+	m.Store64(0x200, 7)
+	if got := c.Load64(0x200); got != 0 {
+		t.Errorf("mutating original changed clone: %d", got)
+	}
+}
+
+func TestReadDoesNotAllocate(t *testing.T) {
+	m := New()
+	for a := uint64(0); a < 1<<20; a += PageSize {
+		m.Load64(a)
+		m.LoadByte(a)
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("reads allocated %d pages", m.PageCount())
+	}
+}
+
+func TestLoad32Store32(t *testing.T) {
+	m := New()
+	m.Store32(0x100, 0xDEADBEEF)
+	if got := m.Load32(0x100); got != 0xDEADBEEF {
+		t.Errorf("Load32 = %#x", got)
+	}
+	// 4-byte halves of an 8-byte word, little endian.
+	m.Store64(0x200, 0x1122334455667788)
+	if lo := m.Load32(0x200); lo != 0x55667788 {
+		t.Errorf("low half = %#x", lo)
+	}
+	if hi := m.Load32(0x204); hi != 0x11223344 {
+		t.Errorf("high half = %#x", hi)
+	}
+	// Writing one half leaves the other intact.
+	m.Store32(0x204, 0xAABBCCDD)
+	if got := m.Load64(0x200); got != 0xAABBCCDD55667788 {
+		t.Errorf("merged word = %#x", got)
+	}
+	// Cold reads are zero and do not allocate.
+	fresh := New()
+	if fresh.Load32(0x4) != 0 || fresh.PageCount() != 0 {
+		t.Error("cold Load32 should read zero without allocating")
+	}
+}
+
+func TestMisaligned32Panics(t *testing.T) {
+	m := New()
+	for _, a := range []uint64{1, 2, 3, 5, 0x1002} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Load32(%#x) should panic", a)
+				}
+			}()
+			m.Load32(a)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Store32(%#x) should panic", a)
+				}
+			}()
+			m.Store32(a, 1)
+		}()
+	}
+}
+
+// Property: a memory behaves exactly like a map of aligned words.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	type opRec struct {
+		Store bool
+		Addr  uint64
+		Val   uint64
+	}
+	f := func(ops []opRec) bool {
+		m := New()
+		ref := make(map[uint64]uint64)
+		for _, op := range ops {
+			a := (op.Addr % (1 << 20)) &^ 7
+			if op.Store {
+				m.Store64(a, op.Val)
+				ref[a] = op.Val
+			} else if m.Load64(a) != ref[a] {
+				return false
+			}
+		}
+		for a, want := range ref {
+			if m.Load64(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

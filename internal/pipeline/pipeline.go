@@ -1,0 +1,552 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// notReady marks a physical register whose value has no completion time
+// yet.
+const notReady = ^uint64(0)
+
+// schedClass indexes the four schedulers of Table 2.
+type schedClass int
+
+const (
+	schedInt schedClass = iota // simple integer + branches
+	schedComplex
+	schedFP
+	schedMem
+	numScheds
+)
+
+func schedOf(c isa.Class) schedClass {
+	switch c {
+	case isa.ClassComplexInt:
+		return schedComplex
+	case isa.ClassFP:
+		return schedFP
+	case isa.ClassLoad, isa.ClassStore:
+		return schedMem
+	default:
+		return schedInt
+	}
+}
+
+// dynOp is one in-flight dynamic instruction.
+type dynOp struct {
+	d   *emu.DynInst
+	res core.RenameResult
+
+	frontReadyAt uint64 // cycle the op reaches the rename stage
+	renameDoneAt uint64
+	dispatchedAt uint64
+	doneAt       uint64 // execution completion (notReady until issued)
+	sched        schedClass
+	issued       bool
+
+	mispredicted  bool // the front end guessed this branch wrong
+	stallsFetch   bool // fetch is stalled waiting for this branch
+	resolvedEarly bool // the optimizer resolved it at rename
+	decodeHandled bool // static-target BTB miss repaired at decode
+
+	// memDep is the youngest older in-flight store to this load's
+	// address; the load forwards from it and cannot begin executing
+	// before the store's data is ready (store-to-load forwarding with
+	// perfect memory disambiguation).
+	memDep *dynOp
+}
+
+// completed reports whether the op's result (if any) is available at
+// cycle now, i.e. the op may retire.
+func (op *dynOp) completed(now uint64, ready []uint64) bool {
+	switch op.res.Kind {
+	case core.KindEarly:
+		return op.renameDoneAt <= now
+	case core.KindElim:
+		// The destination aliases the producer; ready when it is.
+		return ready[op.res.Dest] <= now
+	default:
+		return op.doneAt != notReady && op.doneAt <= now
+	}
+}
+
+// Sim is one machine instance bound to one program.
+type Sim struct {
+	cfg    Config
+	oracle *emu.Machine
+	prf    *regfile.File
+	opt    *core.Optimizer
+	bp     *bpred.Predictor
+	caches *cache.Hierarchy
+
+	cycle  uint64
+	fetchQ []*dynOp
+	renQ   []*dynOp
+	window []*dynOp
+	scheds [numScheds][]*dynOp
+	ready  []uint64
+
+	completions map[uint64][]*dynOp
+	feedbackQ   map[uint64][]feedbackEv
+
+	// lastStore tracks the youngest renamed store per address for
+	// store-to-load dependence timing.
+	lastStore map[uint64]*dynOp
+
+	windowOccSum uint64
+	schedOccSum  uint64
+
+	fetchResumeAt  uint64 // fetch stalled until this cycle (notReady = until resolve)
+	fetchBlockedAt uint64 // I-cache miss in progress
+	stalling       *dynOp
+	fetchDone      bool
+	fetched        uint64
+	lastLine       uint64
+
+	res Result
+
+	// onRetire, when set, observes every retirement (testing hook).
+	onRetire func(op *dynOp, cycle uint64)
+}
+
+type feedbackEv struct {
+	preg regfile.PReg
+	val  uint64
+}
+
+// New builds a simulator for prog under cfg.
+func New(cfg Config, prog *emu.Program) *Sim {
+	if cfg.PRegs == 0 {
+		cfg = DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	prf := regfile.New(cfg.PRegs)
+	s := &Sim{
+		cfg:         cfg,
+		oracle:      emu.New(prog),
+		prf:         prf,
+		opt:         core.NewOptimizer(cfg.Opt, prf),
+		bp:          bpred.New(cfg.BPred),
+		caches:      cache.NewHierarchy(cfg.Caches),
+		ready:       make([]uint64, cfg.PRegs),
+		completions: make(map[uint64][]*dynOp),
+		feedbackQ:   make(map[uint64][]feedbackEv),
+		lastStore:   make(map[uint64]*dynOp),
+		lastLine:    notReady,
+	}
+	s.res.Machine = cfg.Name
+	s.res.Program = prog.Name
+	return s
+}
+
+// Run simulates to completion and returns the results.
+func (s *Sim) Run() *Result {
+	lastRetired := uint64(0)
+	lastProgress := uint64(0)
+	for !s.done() {
+		s.complete()
+		s.retire()
+		s.issue()
+		s.dispatch()
+		s.rename()
+		s.fetch()
+		s.windowOccSum += uint64(len(s.window))
+		for c := schedInt; c < numScheds; c++ {
+			s.schedOccSum += uint64(len(s.scheds[c]))
+		}
+		s.cycle++
+
+		if s.res.Retired != lastRetired {
+			lastRetired = s.res.Retired
+			lastProgress = s.cycle
+		} else if s.cycle-lastProgress > 500000 {
+			panic(fmt.Sprintf("pipeline: no retirement progress for 500000 cycles at cycle %d (%s/%s): window=%d fetchQ=%d renQ=%d",
+				s.cycle, s.res.Machine, s.res.Program, len(s.window), len(s.fetchQ), len(s.renQ)))
+		}
+	}
+	s.res.Cycles = s.cycle
+	if s.cycle > 0 {
+		s.res.AvgWindowOcc = float64(s.windowOccSum) / float64(s.cycle)
+		s.res.AvgSchedOcc = float64(s.schedOccSum) / float64(s.cycle)
+	}
+	s.res.Opt = *s.opt.Stats()
+	s.res.BPLookups = s.bp.Lookups
+	s.res.L1DMissRate = s.caches.L1D.MissRate()
+	s.res.L1IMissRate = s.caches.L1I.MissRate()
+	// Drop references held by feedback events that were still in flight,
+	// then the optimizer tables, so leak checks can require zero.
+	for t, evs := range s.feedbackQ {
+		for _, ev := range evs {
+			s.prf.Release(ev.preg)
+		}
+		delete(s.feedbackQ, t)
+	}
+	s.opt.ReleaseAll()
+	return &s.res
+}
+
+// LiveRegs returns the number of live physical registers (leak checks;
+// call after Run).
+func (s *Sim) LiveRegs() int { return s.prf.LiveCount() }
+
+func (s *Sim) done() bool {
+	return s.fetchDone && len(s.fetchQ) == 0 && len(s.renQ) == 0 && len(s.window) == 0
+}
+
+// retire removes completed instructions, oldest first, releasing their
+// physical-register references.
+func (s *Sim) retire() {
+	n := 0
+	for n < s.cfg.RetireWidth && len(s.window) > 0 {
+		op := s.window[0]
+		if !op.completed(s.cycle, s.ready) {
+			break
+		}
+		s.window = s.window[1:]
+		s.prf.Release(op.res.Dest)
+		for _, p := range op.res.Deps {
+			s.prf.Release(p)
+		}
+		s.res.Retired++
+		if s.onRetire != nil {
+			s.onRetire(op, s.cycle)
+		}
+		n++
+	}
+}
+
+// complete processes execution completions scheduled for this cycle:
+// value feedback dispatch and branch resolution redirects.
+func (s *Sim) complete() {
+	ops := s.completions[s.cycle]
+	if ops == nil {
+		return
+	}
+	delete(s.completions, s.cycle)
+	for _, op := range ops {
+		if op.res.Dest != regfile.NoPReg && s.cfg.Opt.Mode != core.ModeBaseline {
+			// The in-flight feedback value holds a reference so the preg
+			// cannot be freed and reallocated before delivery.
+			s.prf.AddRef(op.res.Dest)
+			t := s.cycle + s.cfg.FeedbackDelay
+			s.feedbackQ[t] = append(s.feedbackQ[t], feedbackEv{op.res.Dest, op.d.Result})
+		}
+		if op.stallsFetch && !op.resolvedEarly {
+			s.fetchResumeAt = s.cycle + s.cfg.RedirectLat
+			s.stalling = nil
+			s.res.LateRecovered++
+		}
+	}
+}
+
+// opLatency returns the execution latency of an issued op, charging the
+// data cache for loads.
+func (s *Sim) opLatency(op *dynOp) uint64 {
+	in := op.d.Inst
+	switch {
+	case in.Op.IsLoad():
+		lat := s.caches.DataAccess(op.d.Addr)
+		if !op.res.AddrKnown {
+			lat++ // address generation
+		}
+		return lat
+	case in.Op.IsStore():
+		return 1
+	}
+	switch op.res.ExecClass {
+	case isa.ClassSimpleInt, isa.ClassBranch:
+		return 1
+	}
+	switch in.Op {
+	case isa.MUL, isa.MULH:
+		return 7
+	case isa.DIV, isa.REM:
+		return 20
+	case isa.FADD, isa.FSUB:
+		return 4
+	case isa.FMUL:
+		return 6
+	case isa.FDIV:
+		return 20
+	default: // FNEG, FMOV, ITOF, FTOI, FCMP*
+		return 2
+	}
+}
+
+// issue selects ready instructions from each scheduler, oldest first,
+// bounded by the execution units.
+func (s *Sim) issue() {
+	units := [numScheds]int{
+		schedInt:     s.cfg.NumSimpleALU,
+		schedComplex: s.cfg.NumComplexALU,
+		schedFP:      s.cfg.NumFPALU,
+		schedMem:     s.cfg.DCachePorts, // refined below with agen constraint
+	}
+	agenLeft := s.cfg.NumAgen
+	portsLeft := s.cfg.DCachePorts
+
+	for cls := schedInt; cls < numScheds; cls++ {
+		left := units[cls]
+		q := s.scheds[cls]
+		kept := q[:0]
+		for _, op := range q {
+			if left == 0 {
+				kept = append(kept, op)
+				continue
+			}
+			if !s.canIssue(op, &agenLeft, &portsLeft) {
+				kept = append(kept, op)
+				continue
+			}
+			op.issued = true
+			lat := s.opLatency(op)
+			op.doneAt = s.cycle + s.cfg.RegReadLat + lat
+			if op.res.Dest != regfile.NoPReg {
+				s.ready[op.res.Dest] = op.doneAt
+			}
+			s.completions[op.doneAt] = append(s.completions[op.doneAt], op)
+			left--
+		}
+		// Preserve queue order for age-based selection.
+		s.scheds[cls] = kept
+	}
+}
+
+// canIssue checks operand readiness and memory-unit availability.
+func (s *Sim) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
+	if op.dispatchedAt+s.cfg.SchedMinLat > s.cycle {
+		return false
+	}
+	execStart := s.cycle + s.cfg.RegReadLat
+	for _, p := range op.res.Deps {
+		if s.ready[p] == notReady || s.ready[p] > execStart {
+			return false
+		}
+	}
+	// A load forwarding from an in-flight store waits for the store's
+	// data (store-to-load forwarding latency is folded into the load's
+	// own access latency).
+	if op.memDep != nil && (op.memDep.doneAt == notReady || op.memDep.doneAt > execStart) {
+		return false
+	}
+	in := op.d.Inst
+	if in.Op.IsLoad() {
+		needAgen := 0
+		if !op.res.AddrKnown {
+			needAgen = 1
+		}
+		if *portsLeft == 0 || *agenLeft < needAgen {
+			return false
+		}
+		*portsLeft--
+		*agenLeft -= needAgen
+	} else if in.Op.IsStore() {
+		if !op.res.AddrKnown {
+			if *agenLeft == 0 {
+				return false
+			}
+			*agenLeft--
+		}
+	}
+	return true
+}
+
+// dispatch moves renamed instructions into the window and schedulers.
+func (s *Sim) dispatch() {
+	n := 0
+	for n < s.cfg.FetchWidth && len(s.renQ) > 0 {
+		op := s.renQ[0]
+		if op.renameDoneAt+s.cfg.DispatchLat > s.cycle {
+			break
+		}
+		if len(s.window) >= s.cfg.WindowSize {
+			s.res.WindowStalls++
+			break
+		}
+		if op.res.Kind == core.KindNormal {
+			if len(s.scheds[op.sched]) >= s.cfg.SchedEntries {
+				s.res.SchedStalls++
+				break
+			}
+			s.scheds[op.sched] = append(s.scheds[op.sched], op)
+		}
+		op.dispatchedAt = s.cycle
+		s.window = append(s.window, op)
+		s.renQ = s.renQ[1:]
+		n++
+	}
+}
+
+// rename runs the optimizer over up to one bundle of fetched
+// instructions, after applying any value feedback due this cycle.
+func (s *Sim) rename() {
+	// Deliver value feedback that has arrived at the optimizer tables.
+	if evs, ok := s.feedbackQ[s.cycle]; ok {
+		delete(s.feedbackQ, s.cycle)
+		for _, ev := range evs {
+			s.opt.Feedback(ev.preg, ev.val)
+			s.prf.Release(ev.preg)
+		}
+	}
+
+	if len(s.fetchQ) == 0 {
+		return
+	}
+	s.opt.BeginBundle()
+	renameDone := s.cycle + s.cfg.totalRenameLat()
+	// The rename output buffer must cover the rename+dispatch latency or
+	// it throttles throughput below the machine width.
+	renQCap := s.cfg.FetchWidth * int(s.cfg.totalRenameLat()+s.cfg.DispatchLat+2)
+	n := 0
+	for n < s.cfg.FetchWidth && len(s.fetchQ) > 0 && len(s.renQ) < renQCap {
+		op := s.fetchQ[0]
+		if op.frontReadyAt > s.cycle {
+			break
+		}
+		if !s.opt.CanRename() {
+			s.res.RegStalls++
+			break
+		}
+		op.res = s.opt.Rename(op.d)
+		op.renameDoneAt = renameDone
+		op.doneAt = notReady
+		op.sched = schedOf(op.res.ExecClass)
+		// Memory dependences: loads forward from the youngest older
+		// store to the same address that is still in flight.
+		if op.d.Inst.Op.IsStore() {
+			s.lastStore[op.d.Addr] = op
+		} else if op.d.Inst.Op.IsLoad() && op.res.Kind == core.KindNormal {
+			op.memDep = s.lastStore[op.d.Addr] // nil if none
+		}
+		switch op.res.Kind {
+		case core.KindEarly:
+			if op.res.Dest != regfile.NoPReg {
+				s.ready[op.res.Dest] = renameDone
+			}
+		case core.KindNormal:
+			if op.res.Dest != regfile.NoPReg {
+				s.ready[op.res.Dest] = notReady
+			}
+		}
+		// Early branch resolution: a stalled misprediction redirects
+		// fetch right after the extended rename stage instead of waiting
+		// for execute (§2.5.1).
+		if op.stallsFetch && op.res.BranchResolved {
+			op.resolvedEarly = true
+			s.fetchResumeAt = renameDone
+			s.stalling = nil
+			s.res.EarlyRecovered++
+		}
+		s.fetchQ = s.fetchQ[1:]
+		s.renQ = append(s.renQ, op)
+		n++
+	}
+}
+
+// fetch pulls correct-path instructions from the oracle, consulting the
+// branch predictor and I-cache and stalling on mispredictions.
+func (s *Sim) fetch() {
+	if s.fetchDone || s.cycle < s.fetchBlockedAt {
+		return
+	}
+	if s.stalling != nil || s.cycle < s.fetchResumeAt {
+		return
+	}
+	// The fetch buffer must cover the front-end latency at full width.
+	if len(s.fetchQ) >= s.cfg.FetchWidth*int(s.cfg.FrontLat+2) {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		d := s.oracle.Step()
+		if d == nil {
+			s.fetchDone = true
+			return
+		}
+		s.fetched++
+
+		// Instruction cache: one access per new line.
+		const instBytes = 4
+		lineB := uint64(s.caches.L1I.Config().LineB)
+		addr := d.PC * instBytes
+		line := addr &^ (lineB - 1)
+		extra := uint64(0)
+		if line != s.lastLine {
+			lat := s.caches.InstFetch(addr)
+			s.lastLine = line
+			if lat > s.caches.L1I.Latency() {
+				extra = lat - s.caches.L1I.Latency()
+			}
+			// Next-line prefetch: the front end streams the sequential
+			// line behind the demand fetch, hiding its latency.
+			s.caches.InstFetch(addr + lineB)
+		}
+		op := &dynOp{d: d, frontReadyAt: s.cycle + s.cfg.FrontLat + extra, doneAt: notReady}
+		s.fetchQ = append(s.fetchQ, op)
+
+		if d.Halt || (s.cfg.MaxInsts > 0 && s.fetched >= s.cfg.MaxInsts) {
+			s.fetchDone = true
+			return
+		}
+		if extra > 0 {
+			// I-cache miss: fetch resumes when the line arrives.
+			s.fetchBlockedAt = s.cycle + extra
+			return
+		}
+
+		in := d.Inst
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if s.handleBranch(op) {
+			return // fetch stalled or redirected
+		}
+		if d.Taken {
+			// No fetching past a taken branch within one cycle.
+			return
+		}
+	}
+}
+
+// handleBranch predicts and trains the front end for a branch op and
+// reports whether fetch must stop this cycle beyond the branch.
+func (s *Sim) handleBranch(op *dynOp) bool {
+	d := op.d
+	in := d.Inst
+	isReturn := in.Op == isa.JMP && in.SrcA == isa.IntReg(26)
+	pred := s.bp.Predict(d.PC, in.Op, isReturn)
+
+	mis := pred.Taken != d.Taken ||
+		(d.Taken && (!pred.TargetKnown || pred.Target != d.NextPC))
+	s.bp.Update(d.PC, in.Op, d.Taken, d.NextPC, mis)
+	if !mis {
+		return false
+	}
+
+	if in.Op == isa.BR || in.Op == isa.JSR {
+		// Static-target branches that miss the BTB are repaired at
+		// decode: the front end restarts once the target is decoded.
+		op.decodeHandled = true
+		s.res.DecodeRedirects++
+		s.fetchResumeAt = s.cycle + s.cfg.FrontLat
+		return true
+	}
+
+	// Conditional or computed-target misprediction: fetch stalls until
+	// the branch resolves (at rename if the optimizer knows the inputs,
+	// else at execute).
+	op.mispredicted = true
+	op.stallsFetch = true
+	s.stalling = op
+	s.fetchResumeAt = notReady
+	s.res.Mispredicted++
+	return true
+}

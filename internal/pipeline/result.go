@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+)
+
+// Result carries the outcome of one simulation.
+type Result struct {
+	// Machine and Program identify the run.
+	Machine string
+	Program string
+
+	// Cycles and Retired give raw performance; IPC() combines them.
+	Cycles  uint64
+	Retired uint64
+
+	// Branch events. Mispredicted counts conditional/computed-target
+	// mispredictions (the expensive kind); EarlyRecovered of those were
+	// resolved in the optimizer, LateRecovered at execute.
+	// DecodeRedirects are cheap static-target BTB misses.
+	Mispredicted    uint64
+	EarlyRecovered  uint64
+	LateRecovered   uint64
+	DecodeRedirects uint64
+
+	// Stall diagnostics.
+	WindowStalls uint64
+	SchedStalls  uint64
+	RegStalls    uint64
+
+	// AvgWindowOcc and AvgSchedOcc are mean occupancies (instructions)
+	// of the 160-entry window and the four schedulers combined — useful
+	// for diagnosing whether a machine is fetch- or execution-bound
+	// (§5.3).
+	AvgWindowOcc float64
+	AvgSchedOcc  float64
+
+	// Opt is the optimizer's event counters.
+	Opt core.Stats
+
+	// Substrate stats.
+	BPLookups   uint64
+	L1DMissRate float64
+	L1IMissRate float64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// SpeedupOver returns base.Cycles / r.Cycles — the paper's speedup
+// metric (both runs execute the same instruction count).
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// PctEarlyExecuted returns the share of the instruction stream executed
+// in the optimizer (Table 3, "exec. early").
+func (r *Result) PctEarlyExecuted() float64 {
+	return pct(r.Opt.EarlyExecuted, r.Opt.Renamed)
+}
+
+// PctMispredRecovered returns the share of mispredicted branches
+// resolved in the optimizer (Table 3, "recov. mispred. brs.").
+func (r *Result) PctMispredRecovered() float64 {
+	return pct(r.EarlyRecovered, r.Mispredicted)
+}
+
+// PctAddrGen returns the share of memory operations whose address was
+// generated in the optimizer (Table 3, "ld/st addr. gen.").
+func (r *Result) PctAddrGen() float64 {
+	return pct(r.Opt.AddrKnown, r.Opt.MemOps)
+}
+
+// PctLoadsRemoved returns the share of loads converted to moves
+// (Table 3, "lds removed").
+func (r *Result) PctLoadsRemoved() float64 {
+	return pct(r.Opt.LoadsRemoved, r.Opt.Loads)
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %d insts, %d cycles, IPC %.3f", r.Program, r.Machine, r.Retired, r.Cycles, r.IPC())
+}
+
+// Run builds a simulator and runs prog under cfg (convenience).
+func Run(cfg Config, prog *emu.Program) *Result {
+	return New(cfg, prog).Run()
+}

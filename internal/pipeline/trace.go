@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// SetTraceWriter enables a per-retirement event log: one line per
+// retired instruction with its dynamic sequence number, PC, disposition
+// (executed / early / eliminated), and key cycle timestamps. Intended
+// for debugging and for studying individual optimizer decisions; it
+// slows simulation considerably. Call before Run.
+func (s *Sim) SetTraceWriter(w io.Writer) {
+	s.onRetire = func(op *dynOp, cycle uint64) {
+		disp := "exec"
+		switch op.res.Kind {
+		case core.KindEarly:
+			disp = "early"
+		case core.KindElim:
+			disp = "elim"
+		}
+		extras := ""
+		if op.res.BranchResolved {
+			extras += " bres"
+		}
+		if op.res.AddrKnown {
+			extras += " addr"
+		}
+		if op.res.LoadEliminated {
+			extras += " rle"
+		}
+		if op.mispredicted {
+			if op.resolvedEarly {
+				extras += " mispred(early)"
+			} else {
+				extras += " mispred"
+			}
+		}
+		done := int64(-1)
+		if op.doneAt != notReady {
+			done = int64(op.doneAt)
+		}
+		fmt.Fprintf(w, "seq=%d pc=%d %-5s rename=%d done=%d retire=%d %v%s\n",
+			op.d.Seq, op.d.PC, disp, op.renameDoneAt, done, cycle, op.d.Inst, extras)
+	}
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func TestTraceWriter(t *testing.T) {
+	// Nops separate the dependent pairs into distinct rename bundles so
+	// the address chain and the MBC forward are not depth-limited.
+	src := `
+start:
+    ldi buf -> r1
+    nop
+    nop
+    nop
+    ldq [r1] -> r2
+    nop
+    nop
+    nop
+    ldq [r1] -> r3
+    add r2, 1 -> r4
+    halt
+.org 0x40000
+.data buf
+.quad 9
+`
+	prog, err := asm.Assemble("trace", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s := New(DefaultConfig(), prog)
+	s.SetTraceWriter(&buf)
+	res := s.Run()
+
+	out := buf.String()
+	lines := 0
+	sawEarly, sawElim, sawExec := false, false, false
+	lastSeq := int64(-1)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		switch {
+		case strings.Contains(line, " early "):
+			sawEarly = true
+		case strings.Contains(line, " elim "):
+			sawElim = true
+		case strings.Contains(line, " exec "):
+			sawExec = true
+		}
+		// Retirement order is program order: seq strictly increases.
+		var seq int64
+		if _, err := fmtSscan(line, &seq); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		if seq <= lastSeq {
+			t.Errorf("trace out of order: seq %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+	}
+	if uint64(lines) != res.Retired {
+		t.Errorf("trace has %d lines, retired %d", lines, res.Retired)
+	}
+	if !sawEarly || !sawElim || !sawExec {
+		t.Errorf("trace should show all dispositions: early=%v elim=%v exec=%v",
+			sawEarly, sawElim, sawExec)
+	}
+	if !strings.Contains(out, "rle") {
+		t.Error("eliminated load should be tagged rle")
+	}
+}
+
+// fmtSscan parses the leading "seq=N" of a trace line.
+func fmtSscan(line string, seq *int64) (int, error) {
+	i := strings.IndexByte(line, ' ')
+	if i < 0 || !strings.HasPrefix(line, "seq=") {
+		return 0, errBadLine
+	}
+	var v int64
+	for _, c := range line[4:i] {
+		if c < '0' || c > '9' {
+			return 0, errBadLine
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*seq = v
+	return 1, nil
+}
+
+var errBadLine = errorString("bad trace line")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

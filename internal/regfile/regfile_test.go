@@ -1,0 +1,207 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocRelease(t *testing.T) {
+	f := New(4)
+	if f.FreeCount() != 4 || f.LiveCount() != 0 {
+		t.Fatalf("fresh file: free=%d live=%d", f.FreeCount(), f.LiveCount())
+	}
+	p := f.Alloc()
+	if p == NoPReg {
+		t.Fatal("alloc failed on fresh file")
+	}
+	if f.Refs(p) != 1 {
+		t.Errorf("fresh preg refcount %d, want 1", f.Refs(p))
+	}
+	f.Release(p)
+	if f.FreeCount() != 4 {
+		t.Error("release should return preg to free list")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	f := New(2)
+	a, b := f.Alloc(), f.Alloc()
+	if a == NoPReg || b == NoPReg {
+		t.Fatal("allocs should succeed")
+	}
+	if got := f.Alloc(); got != NoPReg {
+		t.Error("exhausted file should return NoPReg")
+	}
+	if f.StallsFull != 1 {
+		t.Errorf("StallsFull = %d, want 1", f.StallsFull)
+	}
+	if f.CanAlloc(1) {
+		t.Error("CanAlloc(1) should be false when empty")
+	}
+	f.Release(a)
+	if !f.CanAlloc(1) || f.CanAlloc(2) {
+		t.Error("CanAlloc should track free count")
+	}
+}
+
+func TestRefCountKeepsAlive(t *testing.T) {
+	f := New(2)
+	p := f.Alloc()
+	f.AddRef(p) // e.g. symbolic RAT reference
+	f.AddRef(p) // e.g. MBC reference
+	f.Release(p)
+	f.Release(p)
+	if f.FreeCount() != 1 {
+		t.Error("preg freed while references remain")
+	}
+	if f.Refs(p) != 1 {
+		t.Errorf("refcount %d, want 1", f.Refs(p))
+	}
+	f.Release(p)
+	if f.FreeCount() != 2 {
+		t.Error("preg should be free after last release")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	f := New(2)
+	p := f.Alloc()
+	f.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release should panic")
+		}
+	}()
+	f.Release(p)
+}
+
+func TestAddRefOnDeadPanics(t *testing.T) {
+	f := New(2)
+	p := f.Alloc()
+	f.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRef on dead preg should panic")
+		}
+	}()
+	f.AddRef(p)
+}
+
+func TestNoPRegIsNoOp(t *testing.T) {
+	f := New(2)
+	f.AddRef(NoPReg)
+	f.Release(NoPReg)
+	f.Write(NoPReg, 7)
+	if f.Refs(NoPReg) != 0 {
+		t.Error("NoPReg refs should be 0")
+	}
+}
+
+func TestWriteValueReady(t *testing.T) {
+	f := New(2)
+	p := f.Alloc()
+	if f.Ready(p) {
+		t.Error("fresh preg should not be ready")
+	}
+	f.Write(p, 123)
+	if !f.Ready(p) {
+		t.Error("written preg should be ready")
+	}
+	if f.Value(p) != 123 {
+		t.Errorf("Value = %d", f.Value(p))
+	}
+}
+
+func TestValueOfUnreadyPanics(t *testing.T) {
+	f := New(2)
+	p := f.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("reading unready preg should panic")
+		}
+	}()
+	f.Value(p)
+}
+
+func TestReallocResetsReadyState(t *testing.T) {
+	f := New(1)
+	p := f.Alloc()
+	f.Write(p, 5)
+	f.Release(p)
+	q := f.Alloc()
+	if q != p {
+		t.Fatalf("expected to reuse p%d", p)
+	}
+	if f.Ready(q) {
+		t.Error("reused preg must not be ready")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	for _, n := range []int{0, -1, int(NoPReg) + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+// Property: under random alloc/addref/release traffic the file never
+// leaks, never double-frees, and CheckInvariants always holds.
+func TestQuickRefCountConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		file := New(16)
+		live := make(map[PReg]int32)
+		order := []PReg{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // alloc
+				p := file.Alloc()
+				if p == NoPReg {
+					if len(live) != 16 {
+						return false // spurious exhaustion
+					}
+					continue
+				}
+				live[p] = 1
+				order = append(order, p)
+			case 1: // addref a random live preg
+				if len(order) == 0 {
+					continue
+				}
+				p := order[int(op)%len(order)]
+				if live[p] > 0 {
+					file.AddRef(p)
+					live[p]++
+				}
+			case 2: // release
+				if len(order) == 0 {
+					continue
+				}
+				p := order[int(op)%len(order)]
+				if live[p] > 0 {
+					file.Release(p)
+					live[p]--
+					if live[p] == 0 {
+						delete(live, p)
+					}
+				}
+			}
+			if msg := file.CheckInvariants(); msg != "" {
+				t.Log(msg)
+				return false
+			}
+			if file.LiveCount() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// TestGoldenChecksums pins each benchmark's dynamic instruction count
+// and architectural result cell at scale 2. Any change to a kernel's
+// code, data generation, or the emulator's semantics shows up here; the
+// experiment numbers in EXPERIMENTS.md are only comparable across runs
+// because these are stable.
+func TestGoldenChecksums(t *testing.T) {
+	golden := []struct {
+		name   string
+		insts  uint64
+		result uint64
+	}{
+		{"bzp", 16482, 0x7e8},
+		{"cra", 6473, 0xe36d},
+		{"eon", 994, 0x139a16},
+		{"gap", 8568, 0x0}, // two identical multiplies XOR-cancel
+		{"gcc", 11148, 0xcb2321f},
+		{"mcf", 10594, 0x40823f000d5e},
+		{"prl", 6556, 0x94156feb5d1d3a92},
+		{"twf", 13960, 0x180},
+		{"vor", 10934, 0x8d7950315c},
+		{"vpr", 24368, 0x47c},
+		{"amp", 1155, 0xcc},
+		{"app", 2826, 0x0}, // normalized solve truncates below 1
+		{"art", 1046, 0x22},
+		{"eqk", 5143, 0x116},
+		{"msa", 3470, 0x1e},
+		{"mgd", 140024, 0x0}, // smoothing residual truncates below 1
+		{"g721d", 24310, 0x9c1e},
+		{"g721e", 12599, 0x452},
+		{"mpg2d", 1328, 0x37aa},
+		{"mpg2e", 1236, 0x2d58},
+		{"untst", 6581, 0xd83},
+		{"tst", 39054, 0x1138973c},
+	}
+	if len(golden) != 22 {
+		t.Fatalf("golden table has %d entries, want 22", len(golden))
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			b, ok := ByName(g.name)
+			if !ok {
+				t.Fatalf("unknown benchmark %s", g.name)
+			}
+			prog := b.Program(2)
+			m := emu.New(prog)
+			m.Run(0)
+			if got := m.InstCount(); got != g.insts {
+				t.Errorf("instruction count %d, golden %d", got, g.insts)
+			}
+			addr, ok := prog.Symbol("result")
+			if !ok {
+				t.Fatal("benchmark has no result symbol")
+			}
+			if got := m.Mem.Load64(addr); got != g.result {
+				t.Errorf("result %#x, golden %#x", got, g.result)
+			}
+		})
+	}
+}
