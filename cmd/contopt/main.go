@@ -10,7 +10,16 @@
 //	contopt figure8|figure9|figure10|figure11|figure12
 //	                                  machine-model and sensitivity studies
 //	contopt ablations                 MBC sweep + policy toggles (beyond paper)
+//	contopt sweep <spec.json>         run a user-defined sweep spec
 //	contopt all                       everything above
+//
+// Every experiment runs on one shared exper engine, so a single "all"
+// invocation simulates each unique (config, benchmark, scale) triple
+// exactly once no matter how many artifacts need it. The sweep
+// subcommand loads a declarative JSON spec (benchmark filters, a
+// reference machine, labeled config variants) and prints the speedup
+// table — arbitrary sweeps without writing Go; see exper.SweepSpec for
+// the schema and examples/sweeps/ for samples.
 //
 // Flags:
 //
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/emu"
+	"repro/internal/exper"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -49,7 +59,10 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts := harness.Options{Scale: *scale, Parallelism: *parallel}
+	// One engine per process: every artifact below shares its memoized
+	// results, so e.g. "all" simulates the 22-benchmark baseline once.
+	engine := exper.NewRunner(*parallel)
+	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine}
 	out := os.Stdout
 
 	experiments := map[string]func() error{
@@ -78,6 +91,23 @@ func run(args []string) error {
 		}
 		fmt.Fprintln(out)
 		return opts.PolicySweep(out)
+	case "sweep":
+		rest := fs.Args()
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: contopt sweep <spec.json>")
+		}
+		spec, err := exper.LoadSpec(rest[0])
+		if err != nil {
+			return err
+		}
+		if *scale > 0 {
+			spec.Scale = *scale
+		}
+		sr, err := engine.Sweep(spec)
+		if err != nil {
+			return err
+		}
+		return sr.WriteTable(out)
 	case "discrete":
 		return opts.DiscreteSweep(out)
 	case "dead":
@@ -195,10 +225,11 @@ commands:
   figure11    optimizer latency sensitivity
   figure12    feedback delay sensitivity
   ablations   MBC capacity + policy sweeps (beyond the paper)
+  sweep <f>   run a user-defined JSON sweep spec (see examples/sweeps/)
   discrete    continuous vs. offline-style (trace-flushed) optimization
   dead        dead-value fraction, baseline vs. optimized
   verify      check both machines against the oracle on all benchmarks
-  all         run every experiment
+  all         run every experiment (shared result cache across artifacts)
 
 flags: -scale N, -parallel N`)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,6 +66,44 @@ func TestRunCommandUnknownBenchmark(t *testing.T) {
 func TestRunCommandMissingArg(t *testing.T) {
 	if err := run([]string{"run"}); err == nil {
 		t.Error("expected usage error")
+	}
+}
+
+func TestSweepCommand(t *testing.T) {
+	spec := `{
+		"title": "CLI sweep probe",
+		"benchmarks": ["mcf", "untst"],
+		"per_benchmark": true,
+		"variants": [
+			{"label": "opt"},
+			{"label": "mbc32", "set": {"Opt.MBCEntries": 32}}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error { return run([]string{"sweep", "-scale", "1", path}) })
+	for _, want := range []string{"CLI sweep probe", "opt", "mbc32", "mcf", "untst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepCommandBadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"variants": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sweep", path}); err == nil {
+		t.Error("expected error for spec without variants")
+	}
+	if err := run([]string{"sweep"}); err == nil {
+		t.Error("expected usage error for missing spec path")
+	}
+	if err := run([]string{"sweep", filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Error("expected error for missing spec file")
 	}
 }
 

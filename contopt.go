@@ -10,6 +10,9 @@
 //   - the 22-benchmark workload registry (Benchmarks, Benchmark)
 //   - the experiment harness that regenerates the paper's tables and
 //     figures (Experiments)
+//   - the experiment engine: a memoizing, bounded-parallelism runner
+//     (Engine, NewEngine) and declarative JSON sweep specs (SweepSpec,
+//     LoadSweepSpec, ParseSweepSpec) for user-defined experiments
 //
 // Quick start:
 //
@@ -25,6 +28,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/exper"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -43,7 +47,22 @@ type Program = emu.Program
 type Benchmark = workloads.Benchmark
 
 // Experiments runs the paper's tables and figures; see harness.Options.
+// Set Experiments.Engine to share one result cache across artifacts.
 type Experiments = harness.Options
+
+// Engine executes simulations with bounded parallelism and memoizes
+// results by (config content hash, benchmark, scale); see exper.Runner.
+type Engine = exper.Runner
+
+// SweepSpec declares a user-defined experiment: benchmark filters, a
+// reference machine, and labeled config variants; see exper.SweepSpec.
+type SweepSpec = exper.SweepSpec
+
+// SweepVariant is one machine variant of a SweepSpec.
+type SweepVariant = exper.VariantSpec
+
+// SweepResult holds an executed sweep's simulations and formatting.
+type SweepResult = exper.SweepResult
 
 // OptimizerMode selects baseline / feedback-only / full optimization.
 type OptimizerMode = core.Mode
@@ -61,6 +80,16 @@ func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
 // BaselineConfig returns the comparison machine without the optimizer.
 func BaselineConfig() Config { return pipeline.DefaultConfig().Baseline() }
+
+// NewEngine builds an experiment engine whose worker pool admits at
+// most parallelism concurrent simulations (0 = GOMAXPROCS).
+func NewEngine(parallelism int) *Engine { return exper.NewRunner(parallelism) }
+
+// LoadSweepSpec reads and validates a JSON sweep spec file.
+func LoadSweepSpec(path string) (*SweepSpec, error) { return exper.LoadSpec(path) }
+
+// ParseSweepSpec decodes and validates a JSON sweep spec.
+func ParseSweepSpec(data []byte) (*SweepSpec, error) { return exper.ParseSpec(data) }
 
 // Assemble translates CO64 assembly into an executable program.
 func Assemble(name, source string) (*Program, error) {

@@ -1,0 +1,184 @@
+// Package exper is the experiment engine: it executes (machine config,
+// benchmark, scale) simulations through a bounded worker pool and
+// memoizes every result, so a process that renders many paper artifacts
+// simulates each unique triple exactly once no matter how many tables
+// and figures request it.
+//
+// The cache is keyed by (Config.Key(), benchmark name, effective scale).
+// Config.Key is a content hash that ignores the display Name, so two
+// experiments that describe the same machine under different labels
+// share one simulation; the cached Result carries the Machine name of
+// whichever request ran it first. Concurrent requests for the same key
+// are collapsed singleflight-style: the first caller simulates, later
+// callers block and receive the same *pipeline.Result. Because the
+// simulator is deterministic, memoization also makes sweep output
+// independent of the pool's parallelism.
+//
+// On top of the Runner, SweepSpec (spec.go) describes a whole experiment
+// declaratively — a benchmark filter, a reference machine, and a list of
+// labeled config variants — and can be loaded from JSON, which is how
+// the contopt "sweep" subcommand lets users author new experiments
+// without writing Go.
+package exper
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// Runner executes simulations with bounded parallelism and memoizes
+// results by (config key, benchmark, scale). The zero value is not
+// usable; call NewRunner. A Runner is safe for concurrent use.
+type Runner struct {
+	sem chan struct{}
+
+	mu   sync.Mutex
+	sims map[simKey]*simEntry
+
+	cmu    sync.Mutex
+	counts map[countKey]*countEntry
+
+	hits atomic.Uint64
+	runs atomic.Uint64
+}
+
+type simKey struct {
+	cfg   string
+	bench string
+	scale int
+}
+
+type simEntry struct {
+	once sync.Once
+	res  *pipeline.Result
+}
+
+type countKey struct {
+	bench string
+	scale int
+}
+
+type countEntry struct {
+	once sync.Once
+	n    uint64
+}
+
+// NewRunner builds an engine whose worker pool admits at most
+// parallelism concurrent simulations (0 = GOMAXPROCS).
+func NewRunner(parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:    make(chan struct{}, parallelism),
+		sims:   map[simKey]*simEntry{},
+		counts: map[countKey]*countEntry{},
+	}
+}
+
+// Stats reports cache effectiveness: Simulations is the number of
+// distinct simulations actually executed, Hits the number of requests
+// served from the cache (including requests that waited on an in-flight
+// simulation of the same key).
+type Stats struct {
+	Simulations uint64
+	Hits        uint64
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{Simulations: r.runs.Load(), Hits: r.hits.Load()}
+}
+
+// effectiveScale resolves a non-positive scale to the benchmark default,
+// so "scale 0" and an explicit default-scale request share a cache slot.
+func effectiveScale(b *workloads.Benchmark, scale int) int {
+	if scale <= 0 {
+		return b.DefaultScale
+	}
+	return scale
+}
+
+// Run simulates bench at scale under cfg, returning the memoized result
+// if this (config, benchmark, scale) triple has been simulated before.
+// The returned Result is shared; callers must treat it as read-only.
+func (r *Runner) Run(cfg pipeline.Config, bench *workloads.Benchmark, scale int) *pipeline.Result {
+	cfg = cfg.Normalize()
+	scale = effectiveScale(bench, scale)
+	k := simKey{cfg: cfg.Key(), bench: bench.Name, scale: scale}
+
+	r.mu.Lock()
+	e, ok := r.sims[k]
+	if !ok {
+		e = &simEntry{}
+		r.sims[k] = e
+	}
+	r.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		r.runs.Add(1)
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		res := pipeline.Run(cfg, bench.Program(scale))
+		res.Scale = scale
+		e.res = res
+	})
+	if hit {
+		r.hits.Add(1)
+	}
+	return e.res
+}
+
+// InstCount returns bench's dynamic instruction count at scale from the
+// architectural emulator, memoized by (benchmark, scale). Emulation runs
+// under the same worker pool as simulations.
+func (r *Runner) InstCount(bench *workloads.Benchmark, scale int) uint64 {
+	scale = effectiveScale(bench, scale)
+	k := countKey{bench: bench.Name, scale: scale}
+
+	r.cmu.Lock()
+	e, ok := r.counts[k]
+	if !ok {
+		e = &countEntry{}
+		r.counts[k] = e
+	}
+	r.cmu.Unlock()
+
+	e.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		m := emu.New(bench.Program(scale))
+		m.Run(0)
+		e.n = m.InstCount()
+	})
+	return e.n
+}
+
+// Matrix simulates every benchmark under every configuration and
+// returns results indexed [benchmark][config], parallel to the inputs.
+// All cells run concurrently under the worker pool; duplicate
+// (config, benchmark, scale) cells — within this call or against the
+// runner's history — are simulated once.
+func (r *Runner) Matrix(benches []*workloads.Benchmark, cfgs []pipeline.Config, scale int) [][]*pipeline.Result {
+	out := make([][]*pipeline.Result, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		out[i] = make([]*pipeline.Result, len(cfgs))
+		for c := range cfgs {
+			wg.Add(1)
+			go func(i, c int, b *workloads.Benchmark) {
+				defer wg.Done()
+				out[i][c] = r.Run(cfgs[c], b, scale)
+			}(i, c, b)
+		}
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,409 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// SweepSpec declares an experiment without code: which benchmarks to
+// run, a reference machine, and a list of labeled machine variants. The
+// engine simulates every (variant ∪ reference) × benchmark cell and
+// reports each variant's speedup over the reference.
+//
+// Variants are built axis-by-axis: each starts from the paper's default
+// machine (or its baseline, when "baseline" is true) and applies the
+// "set" overrides, whose keys are dotted pipeline.Config field paths
+// such as "SchedEntries", "Opt.MBCEntries" or "BPred.BTBEntries".
+//
+// JSON form (see examples/sweeps/ for complete files):
+//
+//	{
+//	  "title": "MBC capacity",
+//	  "suites": ["mediabench"],
+//	  "reference": {"label": "baseline", "baseline": true},
+//	  "variants": [
+//	    {"label": "mbc32", "set": {"Opt.MBCEntries": 32}},
+//	    {"label": "mbc256", "set": {"Opt.MBCEntries": 256, "PRegs": 544}}
+//	  ]
+//	}
+type SweepSpec struct {
+	// Title heads the printed table.
+	Title string `json:"title"`
+	// Suites and Benchmarks filter the registry; their union is taken,
+	// in registry order. Both empty means the full 22-benchmark workload.
+	Suites     []string `json:"suites,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Scale overrides each benchmark's default iteration scale when > 0.
+	Scale int `json:"scale,omitempty"`
+	// Reference is the machine speedups are measured against. Nil means
+	// the default machine's baseline (optimizer off).
+	Reference *VariantSpec `json:"reference,omitempty"`
+	// Variants are the machines under test, one table column each.
+	Variants []VariantSpec `json:"variants"`
+	// PerBenchmark adds one row per benchmark above the suite geomeans.
+	PerBenchmark bool `json:"per_benchmark,omitempty"`
+}
+
+// VariantSpec describes one machine as a delta from the default config.
+type VariantSpec struct {
+	// Label names the table column (and the config, for diagnostics).
+	Label string `json:"label"`
+	// Baseline starts from the default machine with the optimizer
+	// disabled instead of the full default machine.
+	Baseline bool `json:"baseline,omitempty"`
+	// Set maps dotted pipeline.Config field paths to values. Numbers
+	// must be integral for integer fields; core.Mode and
+	// core.StorePolicy fields also accept their string names
+	// ("baseline", "feedback-only", "full"; "speculate", "flush").
+	Set map[string]any `json:"set,omitempty"`
+}
+
+// ParseSpec decodes a JSON sweep spec, rejecting unknown fields, and
+// validates it.
+func ParseSpec(data []byte) (*SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SweepSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("exper: parsing sweep spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("exper: parsing sweep spec: trailing content after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a JSON sweep spec file.
+func LoadSpec(path string) (*SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("exper: reading sweep spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// Validate checks the spec: at least one variant, unique non-empty
+// labels, known suites and benchmarks, and overrides that resolve to
+// real config fields with compatible values (each variant's config is
+// built and checked with pipeline.Config.Validate).
+func (s *SweepSpec) Validate() error {
+	if len(s.Variants) == 0 {
+		return fmt.Errorf("exper: sweep spec needs at least one variant")
+	}
+	seen := map[string]bool{}
+	for i, v := range s.Variants {
+		if v.Label == "" {
+			return fmt.Errorf("exper: variant %d has no label", i)
+		}
+		if seen[v.Label] {
+			return fmt.Errorf("exper: duplicate variant label %q", v.Label)
+		}
+		seen[v.Label] = true
+	}
+	known := map[string]bool{}
+	for _, su := range workloads.Suites() {
+		known[su] = true
+	}
+	for _, su := range s.Suites {
+		if !known[su] {
+			return fmt.Errorf("exper: unknown suite %q (have %v)", su, workloads.Suites())
+		}
+	}
+	for _, name := range s.Benchmarks {
+		if _, ok := workloads.ByName(name); !ok {
+			return fmt.Errorf("exper: unknown benchmark %q (try 'contopt list')", name)
+		}
+	}
+	if s.Reference != nil {
+		if _, err := s.Reference.config(); err != nil {
+			return fmt.Errorf("exper: reference: %w", err)
+		}
+	}
+	for _, v := range s.Variants {
+		if _, err := v.config(); err != nil {
+			return fmt.Errorf("exper: variant %q: %w", v.Label, err)
+		}
+	}
+	return nil
+}
+
+// benches resolves the suite/benchmark filters against the registry,
+// preserving registry (suite) order.
+func (s *SweepSpec) benches() []*workloads.Benchmark {
+	if len(s.Suites) == 0 && len(s.Benchmarks) == 0 {
+		return workloads.All()
+	}
+	want := map[string]bool{}
+	for _, name := range s.Benchmarks {
+		want[name] = true
+	}
+	suite := map[string]bool{}
+	for _, su := range s.Suites {
+		suite[su] = true
+	}
+	var out []*workloads.Benchmark
+	for _, b := range workloads.All() {
+		if suite[b.Suite] || want[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// reference returns the reference machine config.
+func (s *SweepSpec) reference() (pipeline.Config, error) {
+	if s.Reference == nil {
+		ref := pipeline.DefaultConfig().Baseline()
+		return ref, nil
+	}
+	return s.Reference.config()
+}
+
+// config builds the variant's machine from the default config and the
+// Set overrides, validating the result.
+func (v *VariantSpec) config() (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	if v.Baseline {
+		cfg = cfg.Baseline()
+	}
+	if v.Label != "" {
+		cfg.Name = v.Label
+	}
+	for _, path := range sortedKeys(v.Set) {
+		if err := setField(&cfg, path, v.Set[path]); err != nil {
+			return cfg, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func sortedKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	modeType  = reflect.TypeOf(core.Mode(0))
+	storeType = reflect.TypeOf(core.StorePolicy(0))
+)
+
+var modeNames = map[string]core.Mode{
+	"baseline":      core.ModeBaseline,
+	"feedback-only": core.ModeFeedbackOnly,
+	"full":          core.ModeFull,
+}
+
+var storeNames = map[string]core.StorePolicy{
+	"speculate": core.StoreSpeculate,
+	"flush":     core.StoreFlush,
+}
+
+// setField assigns val (a JSON scalar) to the dotted field path of cfg.
+func setField(cfg *pipeline.Config, path string, val any) error {
+	v := reflect.ValueOf(cfg).Elem()
+	for _, part := range strings.Split(path, ".") {
+		if v.Kind() != reflect.Struct {
+			return fmt.Errorf("config field %q: %q is not a struct", path, v.Type())
+		}
+		f := v.FieldByName(part)
+		if !f.IsValid() {
+			return fmt.Errorf("unknown config field %q (no %q in %s)", path, part, v.Type())
+		}
+		v = f
+	}
+	switch v.Type() {
+	case modeType:
+		if s, ok := val.(string); ok {
+			m, ok := modeNames[s]
+			if !ok {
+				return fmt.Errorf("config field %q: unknown mode %q", path, s)
+			}
+			v.SetInt(int64(m))
+			return nil
+		}
+	case storeType:
+		if s, ok := val.(string); ok {
+			p, ok := storeNames[s]
+			if !ok {
+				return fmt.Errorf("config field %q: unknown store policy %q", path, s)
+			}
+			v.SetInt(int64(p))
+			return nil
+		}
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		f, ok := val.(float64)
+		if !ok || f != math.Trunc(f) {
+			return fmt.Errorf("config field %q: need an integer, got %v", path, val)
+		}
+		v.SetInt(int64(f))
+	case reflect.Uint, reflect.Uint64:
+		f, ok := val.(float64)
+		if !ok || f != math.Trunc(f) || f < 0 {
+			return fmt.Errorf("config field %q: need a non-negative integer, got %v", path, val)
+		}
+		v.SetUint(uint64(f))
+	case reflect.Float64:
+		f, ok := val.(float64)
+		if !ok {
+			return fmt.Errorf("config field %q: need a number, got %v", path, val)
+		}
+		v.SetFloat(f)
+	case reflect.Bool:
+		b, ok := val.(bool)
+		if !ok {
+			return fmt.Errorf("config field %q: need a bool, got %v", path, val)
+		}
+		v.SetBool(b)
+	case reflect.String:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("config field %q: need a string, got %v", path, val)
+		}
+		v.SetString(s)
+	default:
+		return fmt.Errorf("config field %q: unsupported field type %s", path, v.Type())
+	}
+	return nil
+}
+
+// SweepResult holds every simulation of one executed sweep, indexed
+// [benchmark][column] where column 0 is the reference and columns 1..n
+// follow Spec.Variants.
+type SweepResult struct {
+	Spec    *SweepSpec
+	Benches []*workloads.Benchmark
+	Cells   [][]*pipeline.Result
+}
+
+// Sweep validates and executes spec, memoizing every cell in the
+// runner's cache.
+func (r *Runner) Sweep(spec *SweepSpec) (*SweepResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	benches := spec.benches()
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("exper: sweep spec selects no benchmarks")
+	}
+	ref, err := spec.reference()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]pipeline.Config, 0, len(spec.Variants)+1)
+	cfgs = append(cfgs, ref)
+	for i := range spec.Variants {
+		cfg, err := spec.Variants[i].config()
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return &SweepResult{
+		Spec:    spec,
+		Benches: benches,
+		Cells:   r.Matrix(benches, cfgs, spec.Scale),
+	}, nil
+}
+
+// Speedup returns variant vi's speedup over the reference on benchmark
+// bi (both zero-based; vi indexes Spec.Variants).
+func (sr *SweepResult) Speedup(bi, vi int) float64 {
+	return sr.Cells[bi][vi+1].SpeedupOver(sr.Cells[bi][0])
+}
+
+// WriteTable prints the sweep as a speedup table: optional per-benchmark
+// rows, then one geomean row per suite present, then an overall geomean
+// row when more than one suite is present.
+func (sr *SweepResult) WriteTable(w io.Writer) error {
+	if sr.Spec.Title != "" {
+		fmt.Fprintln(w, sr.Spec.Title)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark")
+	for _, v := range sr.Spec.Variants {
+		fmt.Fprintf(tw, "\t%s", v.Label)
+	}
+	fmt.Fprintln(tw)
+
+	if sr.Spec.PerBenchmark {
+		for bi, b := range sr.Benches {
+			fmt.Fprint(tw, b.Name)
+			for vi := range sr.Spec.Variants {
+				fmt.Fprintf(tw, "\t%.3f", sr.Speedup(bi, vi))
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+
+	suites := 0
+	for _, s := range workloads.Suites() {
+		var idx []int
+		for bi, b := range sr.Benches {
+			if b.Suite == s {
+				idx = append(idx, bi)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		suites++
+		fmt.Fprint(tw, s)
+		for vi := range sr.Spec.Variants {
+			vals := make([]float64, 0, len(idx))
+			for _, bi := range idx {
+				vals = append(vals, sr.Speedup(bi, vi))
+			}
+			fmt.Fprintf(tw, "\t%.3f", Geomean(vals))
+		}
+		fmt.Fprintln(tw)
+	}
+	if suites > 1 {
+		fmt.Fprint(tw, "all")
+		for vi := range sr.Spec.Variants {
+			vals := make([]float64, 0, len(sr.Benches))
+			for bi := range sr.Benches {
+				vals = append(vals, sr.Speedup(bi, vi))
+			}
+			fmt.Fprintf(tw, "\t%.3f", Geomean(vals))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Geomean returns the geometric mean of xs (0 for empty input) — the
+// paper's aggregation for per-suite speedups.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -5,17 +5,23 @@
 // One function per paper artifact: Table1, Figure6, Table3, Figure8,
 // Figure9, Figure10, Figure11, Figure12, plus ablations beyond the paper
 // (MBC size, store policy, minor-optimization toggles).
+//
+// All simulation goes through the exper engine: every artifact asks an
+// exper.Runner for its (config, benchmark, scale) cells, and the runner
+// memoizes results by config content hash. Give several artifacts the
+// same Options.Engine and shared cells — the 22-benchmark baseline and
+// default-machine runs that nearly every table and figure needs — are
+// simulated exactly once per process; each artifact function is then
+// only formatting over cached results.
 package harness
 
 import (
 	"fmt"
 	"io"
-	"math"
-	"runtime"
 	"sync"
 	"text/tabwriter"
 
-	"repro/internal/emu"
+	"repro/internal/exper"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
@@ -26,47 +32,29 @@ type Options struct {
 	// Experiments at Scale 1 run in seconds; the default scales match
 	// the EXPERIMENTS.md numbers.
 	Scale int
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). It is
+	// ignored when Engine is set; the engine's pool governs then.
 	Parallelism int
 	// Machine is the base machine template (zero value = DefaultConfig).
 	Machine pipeline.Config
+	// Engine memoizes and deduplicates simulations. Share one engine
+	// across artifact calls to simulate each unique (config, benchmark,
+	// scale) triple once per process. Nil runs each artifact on a
+	// private engine (still deduplicated within the artifact).
+	Engine *exper.Runner
 }
 
 func (o Options) machine() pipeline.Config {
-	if o.Machine.PRegs == 0 {
-		return pipeline.DefaultConfig()
-	}
-	return o.Machine
+	return o.Machine.Normalize()
 }
 
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+// engine returns the shared engine, or builds a private one bounded by
+// o.Parallelism.
+func (o Options) engine() *exper.Runner {
+	if o.Engine != nil {
+		return o.Engine
 	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// job is one (benchmark, config) simulation.
-type job struct {
-	bench *workloads.Benchmark
-	cfg   pipeline.Config
-	out   **pipeline.Result
-}
-
-// runAll executes jobs with bounded parallelism.
-func (o Options) runAll(jobs []job) {
-	sem := make(chan struct{}, o.workers())
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			*j.out = pipeline.Run(j.cfg, j.bench.Program(o.Scale))
-		}(j)
-	}
-	wg.Wait()
+	return exper.NewRunner(o.Parallelism)
 }
 
 // suiteRun holds one benchmark's results across a set of configurations.
@@ -75,44 +63,15 @@ type suiteRun struct {
 	results []*pipeline.Result // parallel to the config list
 }
 
-// runMatrix simulates every benchmark under every configuration.
+// runMatrix simulates every benchmark under every configuration on the
+// engine (memoized; see Options.Engine).
 func (o Options) runMatrix(benches []*workloads.Benchmark, cfgs []pipeline.Config) []suiteRun {
+	cells := o.engine().Matrix(benches, cfgs, o.Scale)
 	runs := make([]suiteRun, len(benches))
-	var jobs []job
 	for i, b := range benches {
-		runs[i] = suiteRun{bench: b, results: make([]*pipeline.Result, len(cfgs))}
-		for c := range cfgs {
-			jobs = append(jobs, job{bench: b, cfg: cfgs[c], out: &runs[i].results[c]})
-		}
+		runs[i] = suiteRun{bench: b, results: cells[i]}
 	}
-	o.runAll(jobs)
 	return runs
-}
-
-// geomean returns the geometric mean of xs (0 for empty input).
-func geomean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += math.Log(x)
-	}
-	return math.Exp(sum / float64(len(xs)))
-}
-
-// suiteGeomean averages per-benchmark speedups within each suite and
-// returns suite name -> geomean, in paper suite order.
-func suiteGeomean(runs []suiteRun, speedup func(suiteRun) float64) ([]string, map[string]float64) {
-	per := map[string][]float64{}
-	for _, r := range runs {
-		per[r.bench.Suite] = append(per[r.bench.Suite], speedup(r))
-	}
-	out := map[string]float64{}
-	for _, s := range workloads.Suites() {
-		out[s] = geomean(per[s])
-	}
-	return workloads.Suites(), out
 }
 
 func newTab(w io.Writer) *tabwriter.Writer {
@@ -128,18 +87,14 @@ func (o Options) Table1(w io.Writer) error {
 		n uint64
 	}
 	rows := make([]row, len(workloads.All()))
-	sem := make(chan struct{}, o.workers())
+	eng := o.engine()
 	var wg sync.WaitGroup
 	for i, b := range workloads.All() {
 		rows[i].b = b
 		wg.Add(1)
 		go func(i int, b *workloads.Benchmark) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m := emu.New(b.Program(o.Scale))
-			m.Run(0)
-			rows[i].n = m.InstCount()
+			rows[i].n = eng.InstCount(b, o.Scale)
 		}(i, b)
 	}
 	wg.Wait()
@@ -189,7 +144,7 @@ func (o Options) Figure6(w io.Writer) error {
 	var suiteVals []float64
 	flush := func() {
 		if cur != "" {
-			fmt.Fprintf(tw, "%s\tavg\t%.3f\n", cur, geomean(suiteVals))
+			fmt.Fprintf(tw, "%s\tavg\t%.3f\n", cur, exper.Geomean(suiteVals))
 		}
 		suiteVals = nil
 	}

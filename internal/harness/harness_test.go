@@ -7,6 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/exper"
+	"repro/internal/pipeline"
 )
 
 // smallOpts runs every experiment at scale 1 so the whole file stays
@@ -40,14 +43,14 @@ func parseSpeedups(t *testing.T, out string) map[string][]float64 {
 }
 
 func TestGeomean(t *testing.T) {
-	if g := geomean(nil); g != 0 {
-		t.Errorf("geomean(nil) = %v", g)
+	if g := exper.Geomean(nil); g != 0 {
+		t.Errorf("exper.Geomean(nil) = %v", g)
 	}
-	if g := geomean([]float64{2, 8}); g != 4 {
-		t.Errorf("geomean(2,8) = %v, want 4", g)
+	if g := exper.Geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("exper.Geomean(2,8) = %v, want 4", g)
 	}
-	if g := geomean([]float64{1, 1, 1}); g != 1 {
-		t.Errorf("geomean(1,1,1) = %v", g)
+	if g := exper.Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Errorf("exper.Geomean(1,1,1) = %v", g)
 	}
 }
 
@@ -374,15 +377,54 @@ func TestDeadValuesOptimizationIncreasesDeadFraction(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
-	if o.workers() <= 0 {
-		t.Error("workers should default positive")
-	}
 	if o.machine().PRegs == 0 {
 		t.Error("machine should default to DefaultConfig")
 	}
-	o.Parallelism = 3
-	if o.workers() != 3 {
-		t.Error("explicit parallelism ignored")
+	if o.machine().Key() != pipeline.DefaultConfig().Key() {
+		t.Error("zero Machine should normalize to the default machine")
+	}
+	if o.engine() == nil {
+		t.Error("nil Engine should yield a private engine")
+	}
+	eng := exper.NewRunner(1)
+	o.Engine = eng
+	if o.engine() != eng {
+		t.Error("explicit Engine ignored")
+	}
+}
+
+// TestArtifactsShareOneSimulationPerTriple renders Table1 + Figure6 +
+// Table3 on one shared engine and asserts that each unique (config,
+// benchmark, scale) triple is simulated exactly once: Figure6 needs the
+// 22-benchmark baseline and default machines (44 simulations), and
+// Table3's 22 default-machine runs must all come from the cache.
+func TestArtifactsShareOneSimulationPerTriple(t *testing.T) {
+	eng := exper.NewRunner(0)
+	o := Options{Scale: 1, Engine: eng}
+	var buf bytes.Buffer
+	if err := o.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Figure6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Simulations != 44 {
+		t.Errorf("ran %d simulations, want 44 (22 benchmarks x {baseline, default})", st.Simulations)
+	}
+	if st.Hits != 22 {
+		t.Errorf("cache hits = %d, want 22 (Table3 reuses Figure6's default-machine runs)", st.Hits)
+	}
+
+	// A fourth artifact over the same configs is formatting only.
+	if err := o.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Simulations != 44 {
+		t.Errorf("re-rendering Table3 ran new simulations: %d", st.Simulations)
 	}
 }
 

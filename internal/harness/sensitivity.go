@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exper"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
@@ -42,7 +43,7 @@ func (o Options) suiteSpeedups(w io.Writer, title string, ref pipeline.Config, v
 					vals = append(vals, r.results[vi+1].SpeedupOver(r.results[0]))
 				}
 			}
-			fmt.Fprintf(tw, "\t%.3f", geomean(vals))
+			fmt.Fprintf(tw, "\t%.3f", exper.Geomean(vals))
 		}
 		fmt.Fprintln(tw)
 	}

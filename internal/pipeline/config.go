@@ -16,6 +16,8 @@
 package pipeline
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -102,6 +104,30 @@ func DefaultConfig() Config {
 		BPred:         bpred.DefaultConfig(),
 		Caches:        cache.DefaultHierarchyConfig(),
 	}
+}
+
+// Normalize returns the config to simulate: the zero value maps to
+// DefaultConfig, anything else is returned unchanged. This is the one
+// sanctioned "empty config means the default machine" rule; callers must
+// not guess emptiness from individual fields (a partially filled config
+// is a configuration error that Validate reports, not a request for
+// defaults).
+func (c Config) Normalize() Config {
+	if c == (Config{}) {
+		return DefaultConfig()
+	}
+	return c
+}
+
+// Key returns a canonical content hash of the machine configuration.
+// Name is a display label and is excluded: two configs that describe the
+// same machine hash identically regardless of what they are called, so
+// result caches can deduplicate simulations across experiments. The key
+// is stable within a process run and across runs of the same build.
+func (c Config) Key() string {
+	c.Name = ""
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
+	return hex.EncodeToString(sum[:8])
 }
 
 // Baseline returns c with the optimizer disabled (and without its extra

@@ -123,9 +123,7 @@ type feedbackEv struct {
 
 // New builds a simulator for prog under cfg.
 func New(cfg Config, prog *emu.Program) *Sim {
-	if cfg.PRegs == 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -145,6 +143,7 @@ func New(cfg Config, prog *emu.Program) *Sim {
 	}
 	s.res.Machine = cfg.Name
 	s.res.Program = prog.Name
+	s.res.ConfigKey = cfg.Key()
 	return s
 }
 

@@ -7,11 +7,24 @@ import (
 	"repro/internal/emu"
 )
 
-// Result carries the outcome of one simulation.
+// Result carries the outcome of one simulation. A Result is
+// self-describing: Machine/Program label the run for humans, while
+// ConfigKey (the canonical Config content hash), Program and Scale
+// identify the simulation precisely enough for caches to key on.
 type Result struct {
 	// Machine and Program identify the run.
 	Machine string
 	Program string
+
+	// ConfigKey is Config.Key() of the simulated machine — the canonical
+	// content hash that identifies the configuration independent of its
+	// display name.
+	ConfigKey string
+
+	// Scale is the workload iteration scale the program was generated at
+	// (0 when the program did not come from the benchmark registry; the
+	// experiment engine stamps the effective scale).
+	Scale int
 
 	// Cycles and Retired give raw performance; IPC() combines them.
 	Cycles  uint64
