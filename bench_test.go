@@ -11,6 +11,7 @@
 package contopt
 
 import (
+	"context"
 	"io"
 	"math"
 	"testing"
@@ -172,7 +173,7 @@ func BenchmarkFigure12(b *testing.B) {
 // (what `contopt figure6` runs).
 func BenchmarkHarnessFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := benchOpts().Figure6(io.Discard); err != nil {
+		if err := benchOpts().Figure6(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,10 +70,13 @@ func run(args []string) error {
 	case "trace":
 		cfg := pipeline.DefaultConfig()
 		cfg.MaxInsts = *max
-		s := pipeline.New(cfg, prog)
+		s, err := pipeline.New(cfg, prog)
+		if err != nil {
+			return err
+		}
 		s.SetTraceWriter(os.Stdout)
-		s.Run()
-		return nil
+		_, err = s.Run(context.Background(), pipeline.RunOpts{})
+		return err
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)

@@ -21,16 +21,29 @@
 // table — arbitrary sweeps without writing Go; see exper.SweepSpec for
 // the schema and examples/sweeps/ for samples.
 //
+// Execution is context-driven end to end: Ctrl-C (SIGINT/SIGTERM)
+// aborts the in-flight simulations promptly and reports how far the
+// sweep got, and -timeout bounds the whole command the same way.
+// -progress streams per-interval telemetry (cycle, retired, interval
+// IPC) from every running simulation to stderr.
+//
 // Flags:
 //
-//	-scale N     override benchmark iteration scale (0 = default)
-//	-parallel N  concurrent simulations (0 = GOMAXPROCS)
+//	-scale N      override benchmark iteration scale (0 = default)
+//	-parallel N   concurrent simulations (0 = GOMAXPROCS)
+//	-timeout D    abort the whole command after duration D (0 = none)
+//	-progress     stream per-interval simulation progress to stderr
+//	-v            print engine cache statistics when the command ends
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/emu"
@@ -41,16 +54,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "contopt:", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// progressInterval is the telemetry granularity (cycles) behind the
+// -progress flag.
+const progressInterval = 250_000
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("contopt", flag.ContinueOnError)
 	scale := fs.Int("scale", 0, "benchmark iteration scale (0 = default)")
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the whole command after this duration (0 = none)")
+	progress := fs.Bool("progress", false, "stream per-interval simulation progress to stderr")
+	verbose := fs.Bool("v", false, "print engine cache statistics when the command ends")
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -59,21 +84,49 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// One engine per process: every artifact below shares its memoized
 	// results, so e.g. "all" simulates the 22-benchmark baseline once.
 	engine := exper.NewRunner(*parallel)
+	if *progress {
+		engine.SetProgressInterval(progressInterval)
+		engine.Observe(func(p exper.Progress) {
+			fmt.Fprintf(os.Stderr, "progress: %s/%s@%d cycle=%d retired=%d ipc=%.3f\n",
+				p.Benchmark, p.Machine, p.Scale, p.Interval.EndCycle(), p.Interval.Retired, p.Interval.IPC())
+		})
+	}
+	if *verbose {
+		defer func() {
+			st := engine.Stats()
+			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d cache hits\n", st.Simulations, st.Hits)
+		}()
+	}
 	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine}
 	out := os.Stdout
 
-	experiments := map[string]func() error{
-		"table1":   func() error { return opts.Table1(out) },
-		"figure6":  func() error { return opts.Figure6(out) },
-		"table3":   func() error { return opts.Table3(out) },
-		"figure8":  func() error { return opts.Figure8(out) },
-		"figure9":  func() error { return opts.Figure9(out) },
-		"figure10": func() error { return opts.Figure10(out) },
-		"figure11": func() error { return opts.Figure11(out) },
-		"figure12": func() error { return opts.Figure12(out) },
+	experiments := map[string]func(context.Context) error{
+		"table1":   func(ctx context.Context) error { return opts.Table1(ctx, out) },
+		"figure6":  func(ctx context.Context) error { return opts.Figure6(ctx, out) },
+		"table3":   func(ctx context.Context) error { return opts.Table3(ctx, out) },
+		"figure8":  func(ctx context.Context) error { return opts.Figure8(ctx, out) },
+		"figure9":  func(ctx context.Context) error { return opts.Figure9(ctx, out) },
+		"figure10": func(ctx context.Context) error { return opts.Figure10(ctx, out) },
+		"figure11": func(ctx context.Context) error { return opts.Figure11(ctx, out) },
+		"figure12": func(ctx context.Context) error { return opts.Figure12(ctx, out) },
+		"ablations": func(ctx context.Context) error {
+			if err := opts.MBCSweep(ctx, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			return opts.PolicySweep(ctx, out)
+		},
+		"discrete": func(ctx context.Context) error { return opts.DiscreteSweep(ctx, out) },
+		"dead":     func(ctx context.Context) error { return opts.DeadValues(ctx, out) },
 	}
 
 	switch cmd {
@@ -84,13 +137,7 @@ func run(args []string) error {
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: contopt run <benchmark>")
 		}
-		return runOne(out, rest[0], *scale)
-	case "ablations":
-		if err := opts.MBCSweep(out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		return opts.PolicySweep(out)
+		return runOne(ctx, out, engine, rest[0], *scale)
 	case "sweep":
 		rest := fs.Args()
 		if len(rest) != 1 {
@@ -103,42 +150,32 @@ func run(args []string) error {
 		if *scale > 0 {
 			spec.Scale = *scale
 		}
-		sr, err := engine.Sweep(spec)
+		sr, err := engine.Sweep(ctx, spec)
 		if err != nil {
 			return err
 		}
 		return sr.WriteTable(out)
-	case "discrete":
-		return opts.DiscreteSweep(out)
-	case "dead":
-		return opts.DeadValues(out)
 	case "verify":
-		return verify(out, *scale)
+		return verify(ctx, out, *scale)
 	case "all":
-		for _, name := range []string{"table1", "figure6", "table3", "figure8",
-			"figure9", "figure10", "figure11", "figure12"} {
+		names := []string{"table1", "figure6", "table3", "figure8",
+			"figure9", "figure10", "figure11", "figure12",
+			"ablations", "discrete", "dead"}
+		for i, name := range names {
 			start := time.Now()
-			if err := experiments[name](); err != nil {
+			if err := experiments[name](ctx); err != nil {
+				if ctx.Err() != nil {
+					fmt.Fprintf(os.Stderr, "contopt: interrupted during %s; %d/%d artifacts completed (%v)\n",
+						name, i, len(names), names[:i])
+				}
 				return err
 			}
 			fmt.Fprintf(out, "[%s in %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
-		if err := opts.MBCSweep(out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		if err := opts.PolicySweep(out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		if err := opts.DiscreteSweep(out); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		return opts.DeadValues(out)
+		return nil
 	default:
 		if fn, ok := experiments[cmd]; ok {
-			return fn()
+			return fn(ctx)
 		}
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -152,14 +189,21 @@ func list(out *os.File) error {
 	return nil
 }
 
-func runOne(out *os.File, name string, scale int) error {
+// runOne simulates one benchmark on both machines through the shared
+// engine, so -progress and -v report it like any other experiment.
+func runOne(ctx context.Context, out *os.File, engine *exper.Runner, name string, scale int) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q (try 'contopt list')", name)
 	}
-	prog := b.Program(scale)
-	base := pipeline.Run(pipeline.DefaultConfig().Baseline(), prog)
-	opt := pipeline.Run(pipeline.DefaultConfig(), prog)
+	base, err := engine.Run(ctx, pipeline.DefaultConfig().Baseline(), b, scale)
+	if err != nil {
+		return err
+	}
+	opt, err := engine.Run(ctx, pipeline.DefaultConfig(), b, scale)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "%s (%s): %s\n", b.Name, b.Suite, b.Notes)
 	fmt.Fprintf(out, "  baseline:  %d insts, %d cycles, IPC %.3f\n", base.Retired, base.Cycles, base.IPC())
 	fmt.Fprintf(out, "  optimized: %d insts, %d cycles, IPC %.3f\n", opt.Retired, opt.Cycles, opt.IPC())
@@ -180,7 +224,7 @@ func runOne(out *os.File, name string, scale int) error {
 // count with no leaked physical registers. The optimizer's internal
 // value checking panics on any unsound transformation, so a clean pass
 // certifies the build end to end without the test suite.
-func verify(out *os.File, scale int) error {
+func verify(ctx context.Context, out *os.File, scale int) error {
 	if scale == 0 {
 		scale = 1
 	}
@@ -194,8 +238,14 @@ func verify(out *os.File, scale int) error {
 		m.Run(0)
 		want := m.InstCount()
 		for _, cfg := range configs {
-			s := pipeline.New(cfg, prog)
-			res := s.Run()
+			s, err := pipeline.New(cfg, prog)
+			if err != nil {
+				return err
+			}
+			res, err := s.Run(ctx, pipeline.RunOpts{})
+			if err != nil {
+				return err
+			}
 			if res.Retired != want {
 				return fmt.Errorf("%s/%s: retired %d, oracle executed %d",
 					b.Name, cfg.Name, res.Retired, want)
@@ -231,5 +281,5 @@ commands:
   verify      check both machines against the oracle on all benchmarks
   all         run every experiment (shared result cache across artifacts)
 
-flags: -scale N, -parallel N`)
+flags: -scale N, -parallel N, -timeout D, -progress, -v`)
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // capture redirects stdout around fn.
@@ -40,7 +43,7 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestListCommand(t *testing.T) {
-	out := capture(t, func() error { return run([]string{"list"}) })
+	out := capture(t, func() error { return run(context.Background(), []string{"list"}) })
 	for _, want := range []string{"mcf", "untst", "SPECint", "mediabench"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("list output missing %q", want)
@@ -49,7 +52,7 @@ func TestListCommand(t *testing.T) {
 }
 
 func TestRunCommand(t *testing.T) {
-	out := capture(t, func() error { return run([]string{"run", "-scale", "1", "art"}) })
+	out := capture(t, func() error { return run(context.Background(), []string{"run", "-scale", "1", "art"}) })
 	for _, want := range []string{"baseline:", "optimized:", "speedup:", "exec early"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("run output missing %q:\n%s", want, out)
@@ -58,13 +61,13 @@ func TestRunCommand(t *testing.T) {
 }
 
 func TestRunCommandUnknownBenchmark(t *testing.T) {
-	if err := run([]string{"run", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"run", "bogus"}); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
 
 func TestRunCommandMissingArg(t *testing.T) {
-	if err := run([]string{"run"}); err == nil {
+	if err := run(context.Background(), []string{"run"}); err == nil {
 		t.Error("expected usage error")
 	}
 }
@@ -83,7 +86,7 @@ func TestSweepCommand(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out := capture(t, func() error { return run([]string{"sweep", "-scale", "1", path}) })
+	out := capture(t, func() error { return run(context.Background(), []string{"sweep", "-scale", "1", path}) })
 	for _, want := range []string{"CLI sweep probe", "opt", "mbc32", "mcf", "untst"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sweep output missing %q:\n%s", want, out)
@@ -96,25 +99,25 @@ func TestSweepCommandBadSpec(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"variants": []}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"sweep", path}); err == nil {
+	if err := run(context.Background(), []string{"sweep", path}); err == nil {
 		t.Error("expected error for spec without variants")
 	}
-	if err := run([]string{"sweep"}); err == nil {
+	if err := run(context.Background(), []string{"sweep"}); err == nil {
 		t.Error("expected usage error for missing spec path")
 	}
-	if err := run([]string{"sweep", filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+	if err := run(context.Background(), []string{"sweep", filepath.Join(t.TempDir(), "absent.json")}); err == nil {
 		t.Error("expected error for missing spec file")
 	}
 }
 
 func TestUnknownCommand(t *testing.T) {
-	if err := run([]string{"frobnicate"}); err == nil {
+	if err := run(context.Background(), []string{"frobnicate"}); err == nil {
 		t.Error("expected error for unknown command")
 	}
 }
 
 func TestNoArgsPrintsUsage(t *testing.T) {
-	if err := run(nil); err != nil {
+	if err := run(context.Background(), nil); err != nil {
 		t.Errorf("bare invocation should print usage, got %v", err)
 	}
 }
@@ -133,10 +136,45 @@ func TestExperimentCommands(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.cmd, func(t *testing.T) {
-			out := capture(t, func() error { return run([]string{c.cmd, "-scale", "1"}) })
+			out := capture(t, func() error { return run(context.Background(), []string{c.cmd, "-scale", "1"}) })
 			if !strings.Contains(out, c.want) {
 				t.Errorf("%s output missing %q:\n%.200s", c.cmd, c.want, out)
 			}
 		})
+	}
+}
+
+func TestTimeoutFlagAbortsSweep(t *testing.T) {
+	// A 1ms budget cannot complete a default-scale sweep; the command
+	// must surface a deadline error rather than hang or panic.
+	spec := `{"benchmarks": ["mcf", "untst"], "variants": [{"label": "opt"}]}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := run(context.Background(), []string{"sweep", "-timeout", "1ms", path})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("sweep under 1ms timeout returned %v, want deadline error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timed-out sweep took %v to return", elapsed)
+	}
+}
+
+func TestCanceledContextAbortsExperiment(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"figure6", "-scale", "1"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("figure6 under canceled ctx returned %v, want error wrapping context.Canceled", err)
+	}
+}
+
+func TestGenerousTimeoutStillCompletes(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", "-scale", "1", "-timeout", "5m", "art"})
+	})
+	if !strings.Contains(out, "speedup:") {
+		t.Errorf("run with generous timeout lost output:\n%s", out)
 	}
 }

@@ -6,23 +6,36 @@
 //
 //   - assembling CO64 programs (Assemble)
 //   - running them on the cycle-level machine model with or without the
-//     continuous optimizer (Run, DefaultConfig, BaselineConfig)
-//   - the 22-benchmark workload registry (Benchmarks, Benchmark)
+//     continuous optimizer: build a Session with NewSession and drive it
+//     with Session.Run, which takes a context.Context for cancellation
+//     and RunOpts for cycle/retirement limits and interval telemetry
+//     (IntervalStats) — or use the deprecated blocking Run for the old
+//     one-call path
+//   - the 22-benchmark workload registry (Benchmarks, Benchmark,
+//     RunBenchmark)
 //   - the experiment harness that regenerates the paper's tables and
-//     figures (Experiments)
-//   - the experiment engine: a memoizing, bounded-parallelism runner
-//     (Engine, NewEngine) and declarative JSON sweep specs (SweepSpec,
-//     LoadSweepSpec, ParseSweepSpec) for user-defined experiments
+//     figures (Experiments); every artifact method takes a context
+//   - the experiment engine: a memoizing, bounded-parallelism,
+//     cancellation-safe runner (Engine, NewEngine) with engine-level
+//     progress observers (Progress), and declarative JSON sweep specs
+//     (SweepSpec, LoadSweepSpec, ParseSweepSpec, Sweep) for
+//     user-defined experiments
 //
 // Quick start:
 //
 //	prog, err := contopt.Assemble("demo", src)
-//	base := contopt.Run(contopt.BaselineConfig(), prog)
-//	opt := contopt.Run(contopt.DefaultConfig(), prog)
+//	sess, err := contopt.NewSession(contopt.DefaultConfig(), prog)
+//	opt, err := sess.Run(ctx, contopt.RunOpts{})
+//	base, err := contopt.RunProgram(ctx, contopt.BaselineConfig(), prog)
 //	fmt.Printf("speedup %.3f\n", opt.SpeedupOver(base))
+//
+// Canceling ctx (timeout, Ctrl-C) aborts any of these calls promptly
+// with an error wrapping ctx.Err(); set RunOpts.Interval and
+// RunOpts.Observer to watch a simulation's IPC-over-time as it runs.
 package contopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -37,8 +50,37 @@ import (
 // Config describes a simulated machine (see pipeline.Config for fields).
 type Config = pipeline.Config
 
-// Result carries the outcome of one simulation.
+// Result carries the outcome of one simulation, including the optional
+// Intervals telemetry time series and a Truncated reason when a RunOpts
+// limit stopped the run early.
 type Result = pipeline.Result
+
+// Session is one machine instance bound to one program — the unit of
+// execution. Sessions are single-use: build with NewSession, drive with
+// Session.Run.
+type Session = pipeline.Session
+
+// RunOpts controls one Session.Run: MaxCycles/MaxRetired limits and
+// Interval/Observer telemetry.
+type RunOpts = pipeline.RunOpts
+
+// IntervalStats is one interval of a simulation's telemetry time
+// series; see pipeline.IntervalStats.
+type IntervalStats = pipeline.IntervalStats
+
+// TruncateReason says why a simulation stopped before completion.
+type TruncateReason = pipeline.TruncateReason
+
+// Truncation reasons reported in Result.Truncated.
+const (
+	TruncNone       = pipeline.TruncNone
+	TruncMaxCycles  = pipeline.TruncMaxCycles
+	TruncMaxRetired = pipeline.TruncMaxRetired
+)
+
+// Progress is one simulation interval tagged with its run identity,
+// delivered to engine-level observers registered with Engine.Observe.
+type Progress = exper.Progress
 
 // Program is an executable CO64 image.
 type Program = emu.Program
@@ -48,10 +90,14 @@ type Benchmark = workloads.Benchmark
 
 // Experiments runs the paper's tables and figures; see harness.Options.
 // Set Experiments.Engine to share one result cache across artifacts.
+// Every artifact method takes a context.Context and aborts cleanly on
+// cancellation.
 type Experiments = harness.Options
 
 // Engine executes simulations with bounded parallelism and memoizes
 // results by (config content hash, benchmark, scale); see exper.Runner.
+// All engine methods take a context.Context; Engine.Observe registers
+// progress observers.
 type Engine = exper.Runner
 
 // SweepSpec declares a user-defined experiment: benchmark filters, a
@@ -96,7 +142,28 @@ func Assemble(name, source string) (*Program, error) {
 	return asm.Assemble(name, source)
 }
 
-// Run simulates prog on the machine described by cfg.
+// NewSession builds a simulation session for prog on the machine
+// described by cfg, validating the configuration.
+func NewSession(cfg Config, prog *Program) (*Session, error) {
+	return pipeline.New(cfg, prog)
+}
+
+// RunProgram simulates prog to completion on the machine described by
+// cfg under ctx — the context-aware successor to Run. For limits or
+// telemetry, build a Session and pass RunOpts yourself.
+func RunProgram(ctx context.Context, cfg Config, prog *Program) (*Result, error) {
+	s, err := NewSession(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, RunOpts{})
+}
+
+// Run simulates prog on the machine described by cfg, blocking until
+// completion and panicking on an invalid config.
+//
+// Deprecated: Run cannot be canceled or observed. Use RunProgram (or
+// NewSession + Session.Run) in new code.
 func Run(cfg Config, prog *Program) *Result {
 	return pipeline.Run(cfg, prog)
 }
@@ -122,11 +189,24 @@ func BenchmarkByName(name string) (*Benchmark, error) {
 }
 
 // RunBenchmark simulates a registry benchmark at the given scale (0 =
-// default) under cfg.
-func RunBenchmark(name string, scale int, cfg Config) (*Result, error) {
+// default) under cfg, honoring ctx for cancellation. opts carries
+// cycle/retirement limits and interval telemetry; pass RunOpts{} for a
+// plain run to completion.
+func RunBenchmark(ctx context.Context, name string, scale int, cfg Config, opts RunOpts) (*Result, error) {
 	b, err := BenchmarkByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return Run(cfg, b.Program(scale)), nil
+	s, err := NewSession(cfg, b.Program(scale))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, opts)
+}
+
+// Sweep executes a declarative sweep spec on eng (see SweepSpec for the
+// schema), honoring ctx for cancellation. Results are memoized in the
+// engine's cache like any other simulation.
+func Sweep(ctx context.Context, eng *Engine, spec *SweepSpec) (*SweepResult, error) {
+	return eng.Sweep(ctx, spec)
 }

@@ -1,6 +1,7 @@
 package contopt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -55,14 +56,14 @@ func TestBenchmarkRegistryAccess(t *testing.T) {
 }
 
 func TestRunBenchmark(t *testing.T) {
-	res, err := RunBenchmark("art", 1, DefaultConfig())
+	res, err := RunBenchmark(context.Background(), "art", 1, DefaultConfig(), RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Retired == 0 || res.Cycles == 0 {
 		t.Errorf("empty result: %v", res)
 	}
-	if _, err := RunBenchmark("nope", 1, DefaultConfig()); err == nil {
+	if _, err := RunBenchmark(context.Background(), "nope", 1, DefaultConfig(), RunOpts{}); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }

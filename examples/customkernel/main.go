@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -113,9 +114,14 @@ func main() {
 	fmt.Println("\nsteady-state retirement trace (scheduled version):")
 	prog, _ := contopt.Assemble("trace", scheduled)
 	var sb strings.Builder
-	s := pipeline.New(pipeline.DefaultConfig(), prog)
+	s, err := pipeline.New(pipeline.DefaultConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	s.SetTraceWriter(&sb)
-	s.Run()
+	if _, err := s.Run(context.Background(), pipeline.RunOpts{}); err != nil {
+		log.Fatal(err)
+	}
 	lines := strings.Split(sb.String(), "\n")
 	for _, l := range lines[120:128] {
 		fmt.Println(" ", l)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,8 +57,15 @@ func main() {
 	fmt.Printf("architectural sum = %d (%d instructions)\n\n",
 		m.Mem.Load64(0x20010), m.InstCount())
 
-	base := contopt.Run(contopt.BaselineConfig(), prog)
-	opt := contopt.Run(contopt.DefaultConfig(), prog)
+	ctx := context.Background()
+	base, err := contopt.RunProgram(ctx, contopt.BaselineConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := contopt.RunProgram(ctx, contopt.DefaultConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("baseline:  %5d cycles  IPC %.2f\n", base.Cycles, base.IPC())
 	fmt.Printf("optimized: %5d cycles  IPC %.2f\n", opt.Cycles, opt.IPC())

@@ -1,5 +1,7 @@
 package core
 
+import "reflect"
+
 // Mode selects how much of the optimizer is active.
 type Mode int
 
@@ -156,4 +158,28 @@ type Stats struct {
 	// DeadCandidates is the denominator: destination-writing
 	// instructions whose liveness was tracked.
 	DeadCandidates uint64
+}
+
+// Sub returns the field-wise difference s - prev. Every Stats field is a
+// monotonically increasing uint64 counter, so when prev is an earlier
+// snapshot of the same optimizer the result holds exactly the events of
+// the interval (prev, s].
+func (s Stats) Sub(prev Stats) Stats {
+	v := reflect.ValueOf(&s).Elem()
+	p := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(v.Field(i).Uint() - p.Field(i).Uint())
+	}
+	return s
+}
+
+// Add returns the field-wise sum s + other — the inverse of Sub, used to
+// aggregate per-interval event counts back into run totals.
+func (s Stats) Add(other Stats) Stats {
+	v := reflect.ValueOf(&s).Elem()
+	o := reflect.ValueOf(&other).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(v.Field(i).Uint() + o.Field(i).Uint())
+	}
+	return s
 }

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsFieldsAllUint64 pins the invariant Sub and Add rely on:
+// every Stats field is a uint64 counter (the reflection there SetUints
+// each field and would panic at runtime on any other kind). Adding a
+// non-counter field to Stats must fail here, not in a telemetry run.
+func TestStatsFieldsAllUint64(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		if f := typ.Field(i); f.Type.Kind() != reflect.Uint64 {
+			t.Errorf("Stats.%s is %s; Stats fields must be uint64 counters (see Sub/Add)",
+				f.Name, f.Type)
+		}
+	}
+}
+
+func TestStatsSubAddRoundTrip(t *testing.T) {
+	a := Stats{Renamed: 10, EarlyExecuted: 4, Loads: 7, MBCHits: 3}
+	b := Stats{Renamed: 25, EarlyExecuted: 9, Loads: 11, MBCHits: 3, LoadsRemoved: 2}
+	d := b.Sub(a)
+	if d.Renamed != 15 || d.EarlyExecuted != 5 || d.Loads != 4 || d.MBCHits != 0 || d.LoadsRemoved != 2 {
+		t.Errorf("Sub delta wrong: %+v", d)
+	}
+	if got := a.Add(d); got != b {
+		t.Errorf("Add(Sub) round trip: got %+v, want %+v", got, b)
+	}
+}

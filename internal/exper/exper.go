@@ -14,6 +14,18 @@
 // simulator is deterministic, memoization also makes sweep output
 // independent of the pool's parallelism.
 //
+// Every entry point takes a context.Context and returns an error:
+// canceling the context aborts in-flight simulations promptly. The
+// collapse is cancellation-safe — when the caller that is executing a
+// simulation (the leader) is canceled, the work is not poisoned:
+// waiting callers observe the abandoned slot and one of them re-runs
+// the simulation under its own context.
+//
+// Observe registers engine-level progress observers: each running
+// simulation then reports interval telemetry (pipeline.IntervalStats
+// tagged with the run's identity) as it crosses interval boundaries,
+// which is how long sweeps become watchable.
+//
 // On top of the Runner, SweepSpec (spec.go) describes a whole experiment
 // declaratively — a benchmark filter, a reference machine, and a list of
 // labeled config variants — and can be loaded from JSON, which is how
@@ -22,6 +34,8 @@
 package exper
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +45,15 @@ import (
 	"repro/internal/workloads"
 )
 
+// DefaultProgressInterval is the telemetry granularity, in machine
+// cycles, used for engine-level observers unless SetProgressInterval
+// overrides it.
+const DefaultProgressInterval = 100_000
+
+// emuChunk bounds how many instructions the architectural emulator runs
+// between context checks in InstCount.
+const emuChunk = 1 << 20
+
 // Runner executes simulations with bounded parallelism and memoizes
 // results by (config key, benchmark, scale). The zero value is not
 // usable; call NewRunner. A Runner is safe for concurrent use.
@@ -38,10 +61,14 @@ type Runner struct {
 	sem chan struct{}
 
 	mu   sync.Mutex
-	sims map[simKey]*simEntry
+	sims map[simKey]*flight[*pipeline.Result]
 
 	cmu    sync.Mutex
-	counts map[countKey]*countEntry
+	counts map[countKey]*flight[uint64]
+
+	omu           sync.Mutex
+	observers     []func(Progress)
+	progressEvery uint64
 
 	hits atomic.Uint64
 	runs atomic.Uint64
@@ -53,19 +80,73 @@ type simKey struct {
 	scale int
 }
 
-type simEntry struct {
-	once sync.Once
-	res  *pipeline.Result
-}
-
 type countKey struct {
 	bench string
 	scale int
 }
 
-type countEntry struct {
-	once sync.Once
-	n    uint64
+// flight is one singleflight slot: the leader (the caller that created
+// the entry) computes the value and closes done; waiters block on done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// singleflight collapses concurrent calls for the same key k of m into
+// one execution of do, cancellation-safely. The first caller to claim
+// the slot (the leader) runs do; waiters block until it finishes or
+// their own ctx dies. A leader that fails with a context-shaped error
+// vacates the slot before waking waiters, so the work is not poisoned:
+// a live waiter retries and takes over as the new leader. Deterministic
+// failures stay memoized — rerunning them cannot help. leader reports
+// whether this call executed do itself.
+func singleflight[K comparable, V any](ctx context.Context, mu *sync.Mutex, m map[K]*flight[V], k K, do func(context.Context) (V, error)) (val V, leader bool, err error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+		mu.Lock()
+		e, ok := m[k]
+		if !ok {
+			e = &flight[V]{done: make(chan struct{})}
+			m[k] = e
+		}
+		mu.Unlock()
+
+		if !ok {
+			v, err := do(ctx)
+			if err != nil {
+				if ctxErr(err) {
+					mu.Lock()
+					delete(m, k)
+					mu.Unlock()
+				}
+				e.err = err
+				close(e.done)
+				return zero, true, err
+			}
+			e.val = v
+			close(e.done)
+			return v, true, nil
+		}
+
+		select {
+		case <-e.done:
+			if e.err == nil {
+				return e.val, false, nil
+			}
+			if ctxErr(e.err) {
+				// The previous leader was canceled, not the work:
+				// retry, and take over if the slot is still vacant.
+				continue
+			}
+			return zero, false, e.err
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
 }
 
 // NewRunner builds an engine whose worker pool admits at most
@@ -75,16 +156,18 @@ func NewRunner(parallelism int) *Runner {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		sem:    make(chan struct{}, parallelism),
-		sims:   map[simKey]*simEntry{},
-		counts: map[countKey]*countEntry{},
+		sem:           make(chan struct{}, parallelism),
+		sims:          map[simKey]*flight[*pipeline.Result]{},
+		counts:        map[countKey]*flight[uint64]{},
+		progressEvery: DefaultProgressInterval,
 	}
 }
 
 // Stats reports cache effectiveness: Simulations is the number of
-// distinct simulations actually executed, Hits the number of requests
-// served from the cache (including requests that waited on an in-flight
-// simulation of the same key).
+// simulations the engine started executing (including any later
+// abandoned by cancellation), Hits the number of requests served from
+// the cache (including requests that waited on an in-flight simulation
+// of the same key).
 type Stats struct {
 	Simulations uint64
 	Hits        uint64
@@ -93,6 +176,76 @@ type Stats struct {
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	return Stats{Simulations: r.runs.Load(), Hits: r.hits.Load()}
+}
+
+// Progress is one interval of one simulation, tagged with the run's
+// identity — what engine-level observers receive.
+type Progress struct {
+	// Machine and ConfigKey identify the simulated configuration
+	// (display name and canonical content hash).
+	Machine   string
+	ConfigKey string
+	// Benchmark and Scale identify the workload.
+	Benchmark string
+	Scale     int
+	// Interval is the telemetry record (cycles, retired, IPC, branch
+	// and optimizer events for the interval).
+	Interval pipeline.IntervalStats
+}
+
+// Observe registers fn as an engine-level progress observer: every
+// simulation the engine subsequently starts reports its interval
+// telemetry to fn. Observers run synchronously on simulation
+// goroutines and must be fast and concurrency-safe. Register observers
+// before launching work.
+func (r *Runner) Observe(fn func(Progress)) {
+	r.omu.Lock()
+	defer r.omu.Unlock()
+	r.observers = append(r.observers, fn)
+}
+
+// SetProgressInterval sets the telemetry granularity (in cycles) for
+// engine-level observers. Values <= 0 restore the default.
+func (r *Runner) SetProgressInterval(cycles uint64) {
+	r.omu.Lock()
+	defer r.omu.Unlock()
+	if cycles <= 0 {
+		cycles = DefaultProgressInterval
+	}
+	r.progressEvery = cycles
+}
+
+// runOpts builds the pipeline RunOpts for one simulation, wiring the
+// engine's observers to it (nil Observer and zero Interval when no
+// observer is registered, keeping unobserved runs telemetry-free).
+// Engine telemetry is stream-only: the cached Result does not retain
+// the interval series, so observing a long sweep costs no memory.
+func (r *Runner) runOpts(cfg *pipeline.Config, bench *workloads.Benchmark, scale int) pipeline.RunOpts {
+	r.omu.Lock()
+	obs := make([]func(Progress), len(r.observers))
+	copy(obs, r.observers)
+	every := r.progressEvery
+	r.omu.Unlock()
+	if len(obs) == 0 {
+		return pipeline.RunOpts{}
+	}
+	id := Progress{
+		Machine:   cfg.Name,
+		ConfigKey: cfg.Key(),
+		Benchmark: bench.Name,
+		Scale:     scale,
+	}
+	return pipeline.RunOpts{
+		Interval:   every,
+		StreamOnly: true,
+		Observer: func(iv pipeline.IntervalStats) {
+			p := id
+			p.Interval = iv
+			for _, fn := range obs {
+				fn(p)
+			}
+		},
+	}
 }
 
 // effectiveScale resolves a non-positive scale to the benchmark default,
@@ -104,81 +257,130 @@ func effectiveScale(b *workloads.Benchmark, scale int) int {
 	return scale
 }
 
+// ctxErr reports whether err is the shape a canceled or expired context
+// produces — the class of singleflight-leader failure that a waiter can
+// recover from by re-running the work itself.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Run simulates bench at scale under cfg, returning the memoized result
 // if this (config, benchmark, scale) triple has been simulated before.
 // The returned Result is shared; callers must treat it as read-only.
-func (r *Runner) Run(cfg pipeline.Config, bench *workloads.Benchmark, scale int) *pipeline.Result {
+//
+// Canceling ctx aborts the caller's wait and, if this caller is the one
+// executing the simulation, the simulation itself — promptly, with an
+// error wrapping ctx.Err(). A canceled leader does not poison the
+// cache slot: concurrent waiters for the same key take over execution
+// under their own contexts.
+func (r *Runner) Run(ctx context.Context, cfg pipeline.Config, bench *workloads.Benchmark, scale int) (*pipeline.Result, error) {
 	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	scale = effectiveScale(bench, scale)
 	k := simKey{cfg: cfg.Key(), bench: bench.Name, scale: scale}
 
-	r.mu.Lock()
-	e, ok := r.sims[k]
-	if !ok {
-		e = &simEntry{}
-		r.sims[k] = e
-	}
-	r.mu.Unlock()
-
-	hit := true
-	e.once.Do(func() {
-		hit = false
-		r.runs.Add(1)
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		res := pipeline.Run(cfg, bench.Program(scale))
-		res.Scale = scale
-		e.res = res
+	res, leader, err := singleflight(ctx, &r.mu, r.sims, k, func(ctx context.Context) (*pipeline.Result, error) {
+		return r.simulate(ctx, cfg, bench, scale)
 	})
-	if hit {
+	if err == nil && !leader {
 		r.hits.Add(1)
 	}
-	return e.res
+	return res, err
+}
+
+// simulate runs one simulation under the worker pool.
+func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workloads.Benchmark, scale int) (*pipeline.Result, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	r.runs.Add(1)
+	s, err := pipeline.New(cfg, bench.Program(scale))
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run(ctx, r.runOpts(&cfg, bench, scale))
+	if err != nil {
+		return nil, err
+	}
+	res.Scale = scale
+	return res, nil
 }
 
 // InstCount returns bench's dynamic instruction count at scale from the
 // architectural emulator, memoized by (benchmark, scale). Emulation runs
-// under the same worker pool as simulations.
-func (r *Runner) InstCount(bench *workloads.Benchmark, scale int) uint64 {
+// under the same worker pool as simulations and honors ctx with the same
+// leader-handoff semantics as Run.
+func (r *Runner) InstCount(ctx context.Context, bench *workloads.Benchmark, scale int) (uint64, error) {
 	scale = effectiveScale(bench, scale)
 	k := countKey{bench: bench.Name, scale: scale}
 
-	r.cmu.Lock()
-	e, ok := r.counts[k]
-	if !ok {
-		e = &countEntry{}
-		r.counts[k] = e
-	}
-	r.cmu.Unlock()
-
-	e.once.Do(func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		m := emu.New(bench.Program(scale))
-		m.Run(0)
-		e.n = m.InstCount()
+	n, _, err := singleflight(ctx, &r.cmu, r.counts, k, func(ctx context.Context) (uint64, error) {
+		return r.emulate(ctx, bench, scale)
 	})
-	return e.n
+	return n, err
+}
+
+// emulate runs the architectural emulator to completion under the
+// worker pool, checking ctx between instruction chunks.
+func (r *Runner) emulate(ctx context.Context, bench *workloads.Benchmark, scale int) (uint64, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	m := emu.New(bench.Program(scale))
+	for !m.Halted() {
+		m.Run(emuChunk)
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return m.InstCount(), nil
 }
 
 // Matrix simulates every benchmark under every configuration and
 // returns results indexed [benchmark][config], parallel to the inputs.
 // All cells run concurrently under the worker pool; duplicate
 // (config, benchmark, scale) cells — within this call or against the
-// runner's history — are simulated once.
-func (r *Runner) Matrix(benches []*workloads.Benchmark, cfgs []pipeline.Config, scale int) [][]*pipeline.Result {
+// runner's history — are simulated once. On error (including
+// cancellation) Matrix cancels the remaining cells, waits for every
+// worker goroutine to exit, and returns the first error observed.
+func (r *Runner) Matrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config, scale int) ([][]*pipeline.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([][]*pipeline.Result, len(benches))
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	for i, b := range benches {
 		out[i] = make([]*pipeline.Result, len(cfgs))
 		for c := range cfgs {
 			wg.Add(1)
 			go func(i, c int, b *workloads.Benchmark) {
 				defer wg.Done()
-				out[i][c] = r.Run(cfgs[c], b, scale)
+				res, err := r.Run(ctx, cfgs[c], b, scale)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				out[i][c] = res
 			}(i, c, b)
 		}
 	}
 	wg.Wait()
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }

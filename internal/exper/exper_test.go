@@ -2,12 +2,24 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
+
+// mustRun is the error-fatal shim for tests that probe caching, not
+// failure handling.
+func mustRun(t *testing.T, r *Runner, cfg pipeline.Config, b *workloads.Benchmark, scale int) *pipeline.Result {
+	t.Helper()
+	res, err := r.Run(context.Background(), cfg, b, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func bench(t *testing.T, name string) *workloads.Benchmark {
 	t.Helper()
@@ -23,8 +35,8 @@ func TestRunMemoizes(t *testing.T) {
 	b := bench(t, "mcf")
 	cfg := pipeline.DefaultConfig()
 
-	r1 := r.Run(cfg, b, 1)
-	r2 := r.Run(cfg, b, 1)
+	r1 := mustRun(t, r, cfg, b, 1)
+	r2 := mustRun(t, r, cfg, b, 1)
 	if r1 != r2 {
 		t.Error("identical requests should return the same cached *Result")
 	}
@@ -44,7 +56,7 @@ func TestKeyIgnoresDisplayName(t *testing.T) {
 	renamed := cfg
 	renamed.Name = "same-machine-other-label"
 
-	if r.Run(cfg, b, 1) != r.Run(renamed, b, 1) {
+	if mustRun(t, r, cfg, b, 1) != mustRun(t, r, renamed, b, 1) {
 		t.Error("configs differing only in Name should share one simulation")
 	}
 	if st := r.Stats(); st.Simulations != 1 || st.Hits != 1 {
@@ -58,7 +70,7 @@ func TestDistinctConfigsDoNotCollide(t *testing.T) {
 	cfg := pipeline.DefaultConfig()
 	base := cfg.Baseline()
 
-	if r.Run(cfg, b, 1) == r.Run(base, b, 1) {
+	if mustRun(t, r, cfg, b, 1) == mustRun(t, r, base, b, 1) {
 		t.Error("different machines must not share a cache slot")
 	}
 	if st := r.Stats(); st.Simulations != 2 || st.Hits != 0 {
@@ -69,7 +81,7 @@ func TestDistinctConfigsDoNotCollide(t *testing.T) {
 func TestZeroConfigNormalizesToDefault(t *testing.T) {
 	r := NewRunner(2)
 	b := bench(t, "untst")
-	if r.Run(pipeline.Config{}, b, 1) != r.Run(pipeline.DefaultConfig(), b, 1) {
+	if mustRun(t, r, pipeline.Config{}, b, 1) != mustRun(t, r, pipeline.DefaultConfig(), b, 1) {
 		t.Error("zero config should normalize to the default machine's slot")
 	}
 }
@@ -86,7 +98,12 @@ func TestConcurrentRequestsSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = r.Run(cfg, b, 1)
+			res, err := r.Run(context.Background(), cfg, b, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
 		}(i)
 	}
 	wg.Wait()
@@ -112,7 +129,10 @@ func TestMatrixDedupsAcrossCells(t *testing.T) {
 	renamed.Name = "alias"
 	cfgs := []pipeline.Config{def.Baseline(), def, renamed}
 
-	cells := r.Matrix(benches, cfgs, 1)
+	cells, err := r.Matrix(context.Background(), benches, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 2 || len(cells[0]) != 3 {
 		t.Fatalf("cells shape %dx%d, want 2x3", len(cells), len(cells[0]))
 	}
@@ -129,10 +149,23 @@ func TestMatrixDedupsAcrossCells(t *testing.T) {
 func TestInstCountMatchesScaleNormalization(t *testing.T) {
 	r := NewRunner(2)
 	b := bench(t, "untst")
-	if got, want := r.InstCount(b, 0), r.InstCount(b, b.DefaultScale); got != want {
-		t.Errorf("scale 0 count %d != default-scale count %d", got, want)
+	ctx := context.Background()
+	n0, err := r.InstCount(ctx, b, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if n := r.InstCount(b, 1); n == 0 {
+	nd, err := r.InstCount(ctx, b, b.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0 != nd {
+		t.Errorf("scale 0 count %d != default-scale count %d", n0, nd)
+	}
+	n1, err := r.InstCount(ctx, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
 		t.Error("scale-1 instruction count should be positive")
 	}
 }
@@ -155,7 +188,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 	var tables []string
 	for _, parallelism := range []int{1, 8} {
-		sr, err := NewRunner(parallelism).Sweep(spec)
+		sr, err := NewRunner(parallelism).Sweep(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", parallelism, err)
 		}

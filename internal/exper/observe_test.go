@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestObserverReceivesTaggedProgress wires an engine-level observer and
+// checks that a run fans interval telemetry out with the run's identity
+// attached, and that unobserved engines stay telemetry-free.
+func TestObserverReceivesTaggedProgress(t *testing.T) {
+	r := NewRunner(2)
+	r.SetProgressInterval(1000)
+	var (
+		mu     sync.Mutex
+		events []Progress
+	)
+	r.Observe(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	b := bench(t, "mcf")
+	cfg := pipeline.DefaultConfig()
+	res := mustRun(t, r, cfg, b, 1)
+
+	mu.Lock()
+	if len(events) < 2 {
+		mu.Unlock()
+		t.Fatalf("observer saw %d events, want a time series", len(events))
+	}
+	var cycles, retired uint64
+	for _, p := range events {
+		if p.Benchmark != "mcf" || p.Scale != 1 || p.ConfigKey != cfg.Key() || p.Machine != cfg.Name {
+			t.Fatalf("event identity wrong: %+v", p)
+		}
+		cycles += p.Interval.Cycles
+		retired += p.Interval.Retired
+	}
+	if cycles != res.Cycles || retired != res.Retired {
+		t.Errorf("observed totals (%d cycles, %d retired) != result (%d, %d)",
+			cycles, retired, res.Cycles, res.Retired)
+	}
+
+	n := len(events)
+	mu.Unlock()
+
+	// A cache hit re-serves the memoized result without re-simulating,
+	// so no new telemetry arrives.
+	mustRun(t, r, cfg, b, 1)
+	mu.Lock()
+	extra := len(events) - n
+	mu.Unlock()
+	if extra != 0 {
+		t.Errorf("cache hit emitted %d extra progress events", extra)
+	}
+
+	// Engine telemetry is stream-only: the cached result does not
+	// retain the series.
+	if len(res.Intervals) != 0 {
+		t.Errorf("observed engine retained %d intervals in the cached result", len(res.Intervals))
+	}
+
+	// An engine without observers runs telemetry-free.
+	plain := NewRunner(2)
+	res2 := mustRun(t, plain, cfg, b, 1)
+	if len(res2.Intervals) != 0 {
+		t.Errorf("unobserved engine collected %d intervals", len(res2.Intervals))
+	}
+}

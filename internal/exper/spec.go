@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -300,8 +301,9 @@ type SweepResult struct {
 }
 
 // Sweep validates and executes spec, memoizing every cell in the
-// runner's cache.
-func (r *Runner) Sweep(spec *SweepSpec) (*SweepResult, error) {
+// runner's cache. Canceling ctx aborts the in-flight cells and returns
+// the cancellation error.
+func (r *Runner) Sweep(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -322,10 +324,14 @@ func (r *Runner) Sweep(spec *SweepSpec) (*SweepResult, error) {
 		}
 		cfgs = append(cfgs, cfg)
 	}
+	cells, err := r.Matrix(ctx, benches, cfgs, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
 	return &SweepResult{
 		Spec:    spec,
 		Benches: benches,
-		Cells:   r.Matrix(benches, cfgs, spec.Scale),
+		Cells:   cells,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -104,7 +105,7 @@ func TestSweepEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := NewRunner(0)
-	sr, err := r.Sweep(spec)
+	sr, err := r.Sweep(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // trace boundary and no real-time value feedback. Trace lengths of 64,
 // 256 and 1024 instructions bracket the frame sizes of rePLay-class
 // systems.
-func (o Options) DiscreteSweep(w io.Writer) error {
+func (o Options) DiscreteSweep(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	mk := func(window int) pipeline.Config {
@@ -23,7 +24,7 @@ func (o Options) DiscreteSweep(w io.Writer) error {
 		c.Opt.DiscreteWindow = window
 		return c
 	}
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Extension — continuous vs. discrete (offline-style) optimization (§3.4)",
 		base, []namedConfig{
 			{"continuous", def},
@@ -39,10 +40,13 @@ func (o Options) DiscreteSweep(w io.Writer) error {
 // "substantially increase the fraction of dead instructions in the
 // instruction stream" (which a Butts-Sohi-style eliminator could then
 // remove).
-func (o Options) DeadValues(w io.Writer) error {
+func (o Options) DeadValues(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
-	runs := o.runMatrix(workloads.All(), []pipeline.Config{base, def})
+	runs, err := o.runMatrix(ctx, workloads.All(), []pipeline.Config{base, def})
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintln(w, "Extension — dead destination values, baseline vs. optimized (§2.3)")
 	tw := newTab(w)

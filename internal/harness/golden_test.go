@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+// TestArtifactsByteIdenticalToGolden pins the acceptance criterion of
+// the session redesign: Table1, Figure6 and Table3 must render byte
+// -identically to the outputs captured from the pre-session engine
+// (testdata/*_scale1.golden). The simulator is deterministic, so any
+// drift here means the new execution path changed machine behavior,
+// not just plumbing.
+func TestArtifactsByteIdenticalToGolden(t *testing.T) {
+	o := Options{Scale: 1, Engine: exper.NewRunner(0)}
+	for _, tc := range []struct {
+		golden string
+		render func(ctx context.Context, w *bytes.Buffer) error
+	}{
+		{"table1_scale1.golden", func(ctx context.Context, w *bytes.Buffer) error { return o.Table1(ctx, w) }},
+		{"figure6_scale1.golden", func(ctx context.Context, w *bytes.Buffer) error { return o.Figure6(ctx, w) }},
+		{"table3_scale1.golden", func(ctx context.Context, w *bytes.Buffer) error { return o.Table3(ctx, w) }},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tc.render(context.Background(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from golden %s:\n got:\n%s\nwant:\n%s",
+					tc.golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestArtifactsCancelCleanly drives the artifact layer with a canceled
+// context: every artifact must return an error wrapping
+// context.Canceled without writing a partial table.
+func TestArtifactsCancelCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := smallOpts()
+	for name, render := range map[string]func(context.Context, *bytes.Buffer) error{
+		"Table1":  func(ctx context.Context, w *bytes.Buffer) error { return o.Table1(ctx, w) },
+		"Figure6": func(ctx context.Context, w *bytes.Buffer) error { return o.Figure6(ctx, w) },
+		"Table3":  func(ctx context.Context, w *bytes.Buffer) error { return o.Table3(ctx, w) },
+		"Figure8": func(ctx context.Context, w *bytes.Buffer) error { return o.Figure8(ctx, w) },
+	} {
+		var buf bytes.Buffer
+		err := render(ctx, &buf)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s under canceled ctx returned %v, want error wrapping context.Canceled", name, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s wrote %d bytes despite cancellation:\n%s", name, buf.Len(), buf.String())
+		}
+	}
+}

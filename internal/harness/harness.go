@@ -13,9 +13,16 @@
 // default-machine runs that nearly every table and figure needs — are
 // simulated exactly once per process; each artifact function is then
 // only formatting over cached results.
+//
+// Every artifact method takes a context.Context: canceling it aborts
+// the in-flight simulations promptly and the method returns an error
+// wrapping ctx.Err() without writing partial output. Register progress
+// observers on the shared engine (exper.Runner.Observe) to watch long
+// artifact runs.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -64,14 +71,18 @@ type suiteRun struct {
 }
 
 // runMatrix simulates every benchmark under every configuration on the
-// engine (memoized; see Options.Engine).
-func (o Options) runMatrix(benches []*workloads.Benchmark, cfgs []pipeline.Config) []suiteRun {
-	cells := o.engine().Matrix(benches, cfgs, o.Scale)
+// engine (memoized; see Options.Engine). Canceling ctx aborts the
+// remaining cells and surfaces the cancellation error.
+func (o Options) runMatrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config) ([]suiteRun, error) {
+	cells, err := o.engine().Matrix(ctx, benches, cfgs, o.Scale)
+	if err != nil {
+		return nil, err
+	}
 	runs := make([]suiteRun, len(benches))
 	for i, b := range benches {
 		runs[i] = suiteRun{bench: b, results: cells[i]}
 	}
-	return runs
+	return runs, nil
 }
 
 func newTab(w io.Writer) *tabwriter.Writer {
@@ -80,11 +91,11 @@ func newTab(w io.Writer) *tabwriter.Writer {
 
 // Table1 prints the workload inventory with dynamic instruction counts
 // at the effective scale (the analog of the paper's Table 1).
-func (o Options) Table1(w io.Writer) error {
-	fmt.Fprintln(w, "Table 1 — Experimental workload (dynamic instruction counts at current scale)")
+func (o Options) Table1(ctx context.Context, w io.Writer) error {
 	type row struct {
-		b *workloads.Benchmark
-		n uint64
+		b   *workloads.Benchmark
+		n   uint64
+		err error
 	}
 	rows := make([]row, len(workloads.All()))
 	eng := o.engine()
@@ -94,10 +105,16 @@ func (o Options) Table1(w io.Writer) error {
 		wg.Add(1)
 		go func(i int, b *workloads.Benchmark) {
 			defer wg.Done()
-			rows[i].n = eng.InstCount(b, o.Scale)
+			rows[i].n, rows[i].err = eng.InstCount(ctx, b, o.Scale)
 		}(i, b)
 	}
 	wg.Wait()
+	for _, r := range rows {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	fmt.Fprintln(w, "Table 1 — Experimental workload (dynamic instruction counts at current scale)")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "suite\tname\tinsts\tdescription")
 	for _, r := range rows {
@@ -116,10 +133,13 @@ type Speedup struct {
 
 // Figure6Data runs the headline comparison and returns per-benchmark
 // speedups in suite order — the machine-readable form of Figure6.
-func (o Options) Figure6Data() []Speedup {
+func (o Options) Figure6Data(ctx context.Context) ([]Speedup, error) {
 	base := o.machine().Baseline()
 	opt := o.machine()
-	runs := o.runMatrix(workloads.All(), []pipeline.Config{base, opt})
+	runs, err := o.runMatrix(ctx, workloads.All(), []pipeline.Config{base, opt})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Speedup, 0, len(runs))
 	for _, r := range runs {
 		out = append(out, Speedup{
@@ -130,13 +150,16 @@ func (o Options) Figure6Data() []Speedup {
 			Opt:     r.results[1],
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Figure6 prints per-benchmark speedup of continuous optimization over
 // the baseline machine, grouped by suite with geometric-mean bars.
-func (o Options) Figure6(w io.Writer) error {
-	data := o.Figure6Data()
+func (o Options) Figure6(ctx context.Context, w io.Writer) error {
+	data, err := o.Figure6Data(ctx)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintln(w, "Figure 6 — Speedup of continuous optimization over baseline")
 	tw := newTab(w)
@@ -180,8 +203,11 @@ type Effects struct {
 // Table3Data runs the default optimized machine over the full workload
 // and returns one Effects row per suite plus an overall "avg" row — the
 // machine-readable form of Table3.
-func (o Options) Table3Data() []Effects {
-	runs := o.runMatrix(workloads.All(), []pipeline.Config{o.machine()})
+func (o Options) Table3Data(ctx context.Context) ([]Effects, error) {
+	runs, err := o.runMatrix(ctx, workloads.All(), []pipeline.Config{o.machine()})
+	if err != nil {
+		return nil, err
+	}
 
 	type agg struct {
 		early, renamed          uint64
@@ -228,18 +254,22 @@ func (o Options) Table3Data() []Effects {
 	for _, s := range workloads.Suites() {
 		out = append(out, row(s, per[s]))
 	}
-	return append(out, row("avg", total))
+	return append(out, row("avg", total)), nil
 }
 
 // Table3 prints the effects of continuous optimization per suite: %
 // instructions executed early, % mispredicted branches recovered in the
 // optimizer, % memory ops with optimizer-generated addresses, and %
 // loads removed.
-func (o Options) Table3(w io.Writer) error {
+func (o Options) Table3(ctx context.Context, w io.Writer) error {
+	rows, err := o.Table3Data(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Table 3 — Effects of continuous optimization")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "benchmark\texec. early\trecov. mispred. brs.\tld/st addr. gen.\tlds removed")
-	for _, e := range o.Table3Data() {
+	for _, e := range rows {
 		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n", e.Name,
 			e.ExecEarly, e.MispredRecovered, e.AddrGen, e.LoadsRemoved)
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -15,6 +16,9 @@ import (
 // smallOpts runs every experiment at scale 1 so the whole file stays
 // fast.
 func smallOpts() Options { return Options{Scale: 1} }
+
+// bg is the context for tests that do not probe cancellation.
+var bg = context.Background()
 
 // parseSpeedups extracts all float columns from a suite-speedup table.
 func parseSpeedups(t *testing.T, out string) map[string][]float64 {
@@ -56,7 +60,7 @@ func TestGeomean(t *testing.T) {
 
 func TestTable1ListsAllBenchmarks(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Table1(&buf); err != nil {
+	if err := smallOpts().Table1(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +76,7 @@ func TestTable1ListsAllBenchmarks(t *testing.T) {
 
 func TestFigure6ShapeHolds(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure6(&buf); err != nil {
+	if err := smallOpts().Figure6(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -109,7 +113,10 @@ func TestFigure6ShapeHolds(t *testing.T) {
 }
 
 func TestFigure6DataStructured(t *testing.T) {
-	data := smallOpts().Figure6Data()
+	data, err := smallOpts().Figure6Data(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(data) != 22 {
 		t.Fatalf("Figure6Data returned %d points, want 22", len(data))
 	}
@@ -132,7 +139,7 @@ func TestFigure6DataStructured(t *testing.T) {
 
 func TestTable3ShapeHolds(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Table3(&buf); err != nil {
+	if err := smallOpts().Table3(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -169,7 +176,10 @@ func TestTable3ShapeHolds(t *testing.T) {
 }
 
 func TestTable3DataStructured(t *testing.T) {
-	rows := smallOpts().Table3Data()
+	rows, err := smallOpts().Table3Data(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("Table3Data returned %d rows, want 4 (3 suites + avg)", len(rows))
 	}
@@ -190,7 +200,7 @@ func TestTable3DataStructured(t *testing.T) {
 
 func TestFigure8ExecBoundGainsMost(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure8(&buf); err != nil {
+	if err := smallOpts().Figure8(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -219,7 +229,7 @@ func TestFigure8ExecBoundGainsMost(t *testing.T) {
 
 func TestFigure9FeedbackAloneWeaker(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure9(&buf); err != nil {
+	if err := smallOpts().Figure9(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -235,7 +245,7 @@ func TestFigure9FeedbackAloneWeaker(t *testing.T) {
 
 func TestFigure10DepthHelpsMediabench(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure10(&buf); err != nil {
+	if err := smallOpts().Figure10(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -251,7 +261,7 @@ func TestFigure10DepthHelpsMediabench(t *testing.T) {
 
 func TestFigure11LatencyDegradesGracefully(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure11(&buf); err != nil {
+	if err := smallOpts().Figure11(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -273,7 +283,7 @@ func TestFigure11LatencyDegradesGracefully(t *testing.T) {
 
 func TestFigure12FeedbackDelayFlat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().Figure12(&buf); err != nil {
+	if err := smallOpts().Figure12(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -300,7 +310,7 @@ func TestFigure12FeedbackDelayFlat(t *testing.T) {
 
 func TestMBCSweepMonotoneForMediabench(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().MBCSweep(&buf); err != nil {
+	if err := smallOpts().MBCSweep(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -315,7 +325,7 @@ func TestMBCSweepMonotoneForMediabench(t *testing.T) {
 
 func TestPolicySweepRuns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().PolicySweep(&buf); err != nil {
+	if err := smallOpts().PolicySweep(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -332,7 +342,7 @@ func TestPolicySweepRuns(t *testing.T) {
 
 func TestDiscreteSweepContinuousWins(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().DiscreteSweep(&buf); err != nil {
+	if err := smallOpts().DiscreteSweep(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseSpeedups(t, buf.String())
@@ -352,7 +362,7 @@ func TestDiscreteSweepContinuousWins(t *testing.T) {
 
 func TestDeadValuesOptimizationIncreasesDeadFraction(t *testing.T) {
 	var buf bytes.Buffer
-	if err := smallOpts().DeadValues(&buf); err != nil {
+	if err := smallOpts().DeadValues(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, line := range strings.Split(buf.String(), "\n") {
@@ -402,13 +412,13 @@ func TestArtifactsShareOneSimulationPerTriple(t *testing.T) {
 	eng := exper.NewRunner(0)
 	o := Options{Scale: 1, Engine: eng}
 	var buf bytes.Buffer
-	if err := o.Table1(&buf); err != nil {
+	if err := o.Table1(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := o.Figure6(&buf); err != nil {
+	if err := o.Figure6(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := o.Table3(&buf); err != nil {
+	if err := o.Table3(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	st := eng.Stats()
@@ -420,7 +430,7 @@ func TestArtifactsShareOneSimulationPerTriple(t *testing.T) {
 	}
 
 	// A fourth artifact over the same configs is formatting only.
-	if err := o.Table3(&buf); err != nil {
+	if err := o.Table3(bg, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if st := eng.Stats(); st.Simulations != 44 {
@@ -432,7 +442,7 @@ func TestSuiteSpeedupsFormatting(t *testing.T) {
 	var buf bytes.Buffer
 	o := smallOpts()
 	def := o.machine()
-	err := o.suiteSpeedups(&buf, "Title Line", def.Baseline(), []namedConfig{{"only", def}})
+	err := o.suiteSpeedups(bg, &buf, "Title Line", def.Baseline(), []namedConfig{{"only", def}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +461,7 @@ func ExampleOptions_usage() {
 	// Typical use: run the headline experiment at reduced scale.
 	o := Options{Scale: 1}
 	var buf bytes.Buffer
-	if err := o.Figure6(&buf); err != nil {
+	if err := o.Figure6(bg, &buf); err != nil {
 		fmt.Println("error:", err)
 	}
 	fmt.Println(strings.SplitN(buf.String(), "\n", 2)[0])

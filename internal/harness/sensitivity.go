@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,13 +20,16 @@ type namedConfig struct {
 // suiteSpeedups runs all benchmarks under a reference config plus a list
 // of variants and prints one row per suite with the geomean speedup of
 // each variant over the reference.
-func (o Options) suiteSpeedups(w io.Writer, title string, ref pipeline.Config, variants []namedConfig) error {
+func (o Options) suiteSpeedups(ctx context.Context, w io.Writer, title string, ref pipeline.Config, variants []namedConfig) error {
 	cfgs := make([]pipeline.Config, 0, len(variants)+1)
 	cfgs = append(cfgs, ref)
 	for _, v := range variants {
 		cfgs = append(cfgs, v.cfg)
 	}
-	runs := o.runMatrix(workloads.All(), cfgs)
+	runs, err := o.runMatrix(ctx, workloads.All(), cfgs)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintln(w, title)
 	tw := newTab(w)
@@ -54,7 +58,7 @@ func (o Options) suiteSpeedups(w io.Writer, title string, ref pipeline.Config, v
 // execution-bound machine models (§5.3): scheduler entries doubled makes
 // the machine fetch-bound; an 8-wide front end makes it execution-bound.
 // All bars are relative to the default baseline.
-func (o Options) Figure8(w io.Writer) error {
+func (o Options) Figure8(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 
@@ -74,7 +78,7 @@ func (o Options) Figure8(w io.Writer) error {
 	execBoundOpt.Name = "exec-bound+opt"
 	execBoundOpt.FetchWidth = def.FetchWidth * 2
 
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Figure 8 — Performance on other machine models (relative to default baseline)",
 		base, []namedConfig{
 			{"fetch-bound", fetchBound},
@@ -87,14 +91,14 @@ func (o Options) Figure8(w io.Writer) error {
 
 // Figure9 compares value feedback alone against feedback plus
 // optimization (§6.1).
-func (o Options) Figure9(w io.Writer) error {
+func (o Options) Figure9(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	feedback := def.WithMode(core.ModeFeedbackOnly)
 	feedback.Name = "feedback"
 	full := def
 	full.Name = "feedback+opt"
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Figure 9 — Continuous optimization vs. value feedback (speedup over baseline)",
 		base, []namedConfig{
 			{"feedback", feedback},
@@ -104,7 +108,7 @@ func (o Options) Figure9(w io.Writer) error {
 
 // Figure10 sweeps the per-bundle dependence depth (§6.2): 0 (default),
 // 1, 3, and 3 with one chained memory operation.
-func (o Options) Figure10(w io.Writer) error {
+func (o Options) Figure10(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	mk := func(name string, depth, mem int) pipeline.Config {
@@ -114,7 +118,7 @@ func (o Options) Figure10(w io.Writer) error {
 		c.Opt.ChainedMem = mem
 		return c
 	}
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Figure 10 — Importance of processing dependent instructions in parallel",
 		base, []namedConfig{
 			{"depth 0 (default)", mk("depth0", 0, 0)},
@@ -126,7 +130,7 @@ func (o Options) Figure10(w io.Writer) error {
 
 // Figure11 sweeps the optimizer's extra pipeline stages (§6.3): 0, 2
 // (default), 4.
-func (o Options) Figure11(w io.Writer) error {
+func (o Options) Figure11(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	mk := func(stages uint64) pipeline.Config {
@@ -135,7 +139,7 @@ func (o Options) Figure11(w io.Writer) error {
 		c.OptStages = stages
 		return c
 	}
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Figure 11 — Optimizer latency sensitivity (extra rename stages)",
 		base, []namedConfig{
 			{"delay 0", mk(0)},
@@ -146,7 +150,7 @@ func (o Options) Figure11(w io.Writer) error {
 
 // Figure12 sweeps the value-feedback transmission delay (§6.4): 0, 1
 // (default), 5, 10 cycles.
-func (o Options) Figure12(w io.Writer) error {
+func (o Options) Figure12(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	mk := func(delay uint64) pipeline.Config {
@@ -155,7 +159,7 @@ func (o Options) Figure12(w io.Writer) error {
 		c.FeedbackDelay = delay
 		return c
 	}
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Figure 12 — Value feedback transmission delay sensitivity",
 		base, []namedConfig{
 			{"delay 0", mk(0)},
@@ -167,7 +171,7 @@ func (o Options) Figure12(w io.Writer) error {
 
 // MBCSweep is an ablation beyond the paper: Memory Bypass Cache capacity
 // 32/64/128/256 entries — probing the mcf/untst "fits in the MBC" story.
-func (o Options) MBCSweep(w io.Writer) error {
+func (o Options) MBCSweep(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	mk := func(entries int) pipeline.Config {
@@ -180,7 +184,7 @@ func (o Options) MBCSweep(w io.Writer) error {
 		}
 		return c
 	}
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Ablation — MBC capacity sweep (speedup over baseline)",
 		base, []namedConfig{
 			{"32", mk(32)},
@@ -193,7 +197,7 @@ func (o Options) MBCSweep(w io.Writer) error {
 // PolicySweep is an ablation beyond the paper: store policy and the
 // minor optimizations toggled off (§3.2 claims the store policies differ
 // little; we measure it).
-func (o Options) PolicySweep(w io.Writer) error {
+func (o Options) PolicySweep(ctx context.Context, w io.Writer) error {
 	def := o.machine()
 	base := def.Baseline()
 	flush := def
@@ -205,7 +209,7 @@ func (o Options) PolicySweep(w io.Writer) error {
 	noSR := def
 	noSR.Name = "no-strength-red"
 	noSR.Opt.StrengthReduce = false
-	return o.suiteSpeedups(w,
+	return o.suiteSpeedups(ctx, w,
 		"Ablation — store policy and minor optimizations (speedup over baseline)",
 		base, []namedConfig{
 			{"default", def},

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,19 +50,17 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnInvalidConfig(t *testing.T) {
+func TestNewRejectsInvalidConfig(t *testing.T) {
 	prog, err := asm.Assemble("p", "start:\n halt\n")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
 	cfg.FetchWidth = -1
-	defer func() {
-		if recover() == nil {
-			t.Error("New should panic on an invalid config")
-		}
-	}()
-	New(cfg, prog)
+	s, err := New(cfg, prog)
+	if err == nil || !strings.Contains(err.Error(), "FetchWidth") {
+		t.Errorf("New should report the invalid field, got session=%v err=%v", s, err)
+	}
 }
 
 func TestZeroConfigFallsBackToDefault(t *testing.T) {
@@ -69,7 +68,14 @@ func TestZeroConfigFallsBackToDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := New(Config{}, prog).Run()
+	s, err := New(Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Retired != 2 {
 		t.Errorf("retired %d under zero config", res.Retired)
 	}

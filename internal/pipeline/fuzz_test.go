@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -154,8 +155,14 @@ func TestFuzzRandomProgramsAgainstOracle(t *testing.T) {
 			cfgs = append(cfgs, slowFB)
 
 			for _, cfg := range cfgs {
-				s := New(cfg, prog)
-				res := s.Run()
+				s, err := New(cfg, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(context.Background(), RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
 				if res.Retired != want {
 					t.Errorf("%s: retired %d, oracle %d", cfg.Name, res.Retired, want)
 				}

@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -77,8 +75,12 @@ func (op *dynOp) completed(now uint64, ready []uint64) bool {
 	}
 }
 
-// Sim is one machine instance bound to one program.
-type Sim struct {
+// Session is one machine instance bound to one program: the unit of
+// execution of the redesigned API. Build one with New, then drive it
+// with Run, which takes a context for cancellation and RunOpts for
+// limits and interval telemetry. A Session is single-use (Run consumes
+// it) and not safe for concurrent use.
+type Session struct {
 	cfg    Config
 	oracle *emu.Machine
 	prf    *regfile.File
@@ -112,6 +114,9 @@ type Sim struct {
 
 	res Result
 
+	// consumed flips when Run starts; a Session is single-use.
+	consumed bool
+
 	// onRetire, when set, observes every retirement (testing hook).
 	onRetire func(op *dynOp, cycle uint64)
 }
@@ -121,14 +126,16 @@ type feedbackEv struct {
 	val  uint64
 }
 
-// New builds a simulator for prog under cfg.
-func New(cfg Config, prog *emu.Program) *Sim {
+// New builds a simulation session for prog under cfg. The config is
+// normalized (a zero Config means the default machine) and validated;
+// an invalid config is reported as an error rather than a panic.
+func New(cfg Config, prog *emu.Program) (*Session, error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	prf := regfile.New(cfg.PRegs)
-	s := &Sim{
+	s := &Session{
 		cfg:         cfg,
 		oracle:      emu.New(prog),
 		prf:         prf,
@@ -144,66 +151,20 @@ func New(cfg Config, prog *emu.Program) *Sim {
 	s.res.Machine = cfg.Name
 	s.res.Program = prog.Name
 	s.res.ConfigKey = cfg.Key()
-	return s
-}
-
-// Run simulates to completion and returns the results.
-func (s *Sim) Run() *Result {
-	lastRetired := uint64(0)
-	lastProgress := uint64(0)
-	for !s.done() {
-		s.complete()
-		s.retire()
-		s.issue()
-		s.dispatch()
-		s.rename()
-		s.fetch()
-		s.windowOccSum += uint64(len(s.window))
-		for c := schedInt; c < numScheds; c++ {
-			s.schedOccSum += uint64(len(s.scheds[c]))
-		}
-		s.cycle++
-
-		if s.res.Retired != lastRetired {
-			lastRetired = s.res.Retired
-			lastProgress = s.cycle
-		} else if s.cycle-lastProgress > 500000 {
-			panic(fmt.Sprintf("pipeline: no retirement progress for 500000 cycles at cycle %d (%s/%s): window=%d fetchQ=%d renQ=%d",
-				s.cycle, s.res.Machine, s.res.Program, len(s.window), len(s.fetchQ), len(s.renQ)))
-		}
-	}
-	s.res.Cycles = s.cycle
-	if s.cycle > 0 {
-		s.res.AvgWindowOcc = float64(s.windowOccSum) / float64(s.cycle)
-		s.res.AvgSchedOcc = float64(s.schedOccSum) / float64(s.cycle)
-	}
-	s.res.Opt = *s.opt.Stats()
-	s.res.BPLookups = s.bp.Lookups
-	s.res.L1DMissRate = s.caches.L1D.MissRate()
-	s.res.L1IMissRate = s.caches.L1I.MissRate()
-	// Drop references held by feedback events that were still in flight,
-	// then the optimizer tables, so leak checks can require zero.
-	for t, evs := range s.feedbackQ {
-		for _, ev := range evs {
-			s.prf.Release(ev.preg)
-		}
-		delete(s.feedbackQ, t)
-	}
-	s.opt.ReleaseAll()
-	return &s.res
+	return s, nil
 }
 
 // LiveRegs returns the number of live physical registers (leak checks;
 // call after Run).
-func (s *Sim) LiveRegs() int { return s.prf.LiveCount() }
+func (s *Session) LiveRegs() int { return s.prf.LiveCount() }
 
-func (s *Sim) done() bool {
+func (s *Session) done() bool {
 	return s.fetchDone && len(s.fetchQ) == 0 && len(s.renQ) == 0 && len(s.window) == 0
 }
 
 // retire removes completed instructions, oldest first, releasing their
 // physical-register references.
-func (s *Sim) retire() {
+func (s *Session) retire() {
 	n := 0
 	for n < s.cfg.RetireWidth && len(s.window) > 0 {
 		op := s.window[0]
@@ -225,7 +186,7 @@ func (s *Sim) retire() {
 
 // complete processes execution completions scheduled for this cycle:
 // value feedback dispatch and branch resolution redirects.
-func (s *Sim) complete() {
+func (s *Session) complete() {
 	ops := s.completions[s.cycle]
 	if ops == nil {
 		return
@@ -249,7 +210,7 @@ func (s *Sim) complete() {
 
 // opLatency returns the execution latency of an issued op, charging the
 // data cache for loads.
-func (s *Sim) opLatency(op *dynOp) uint64 {
+func (s *Session) opLatency(op *dynOp) uint64 {
 	in := op.d.Inst
 	switch {
 	case in.Op.IsLoad():
@@ -283,7 +244,7 @@ func (s *Sim) opLatency(op *dynOp) uint64 {
 
 // issue selects ready instructions from each scheduler, oldest first,
 // bounded by the execution units.
-func (s *Sim) issue() {
+func (s *Session) issue() {
 	units := [numScheds]int{
 		schedInt:     s.cfg.NumSimpleALU,
 		schedComplex: s.cfg.NumComplexALU,
@@ -321,7 +282,7 @@ func (s *Sim) issue() {
 }
 
 // canIssue checks operand readiness and memory-unit availability.
-func (s *Sim) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
+func (s *Session) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
 	if op.dispatchedAt+s.cfg.SchedMinLat > s.cycle {
 		return false
 	}
@@ -360,7 +321,7 @@ func (s *Sim) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
 }
 
 // dispatch moves renamed instructions into the window and schedulers.
-func (s *Sim) dispatch() {
+func (s *Session) dispatch() {
 	n := 0
 	for n < s.cfg.FetchWidth && len(s.renQ) > 0 {
 		op := s.renQ[0]
@@ -387,7 +348,7 @@ func (s *Sim) dispatch() {
 
 // rename runs the optimizer over up to one bundle of fetched
 // instructions, after applying any value feedback due this cycle.
-func (s *Sim) rename() {
+func (s *Session) rename() {
 	// Deliver value feedback that has arrived at the optimizer tables.
 	if evs, ok := s.feedbackQ[s.cycle]; ok {
 		delete(s.feedbackQ, s.cycle)
@@ -453,7 +414,7 @@ func (s *Sim) rename() {
 
 // fetch pulls correct-path instructions from the oracle, consulting the
 // branch predictor and I-cache and stalling on mispredictions.
-func (s *Sim) fetch() {
+func (s *Session) fetch() {
 	if s.fetchDone || s.cycle < s.fetchBlockedAt {
 		return
 	}
@@ -517,7 +478,7 @@ func (s *Sim) fetch() {
 
 // handleBranch predicts and trains the front end for a branch op and
 // reports whether fetch must stop this cycle beyond the branch.
-func (s *Sim) handleBranch(op *dynOp) bool {
+func (s *Session) handleBranch(op *dynOp) bool {
 	d := op.d
 	in := d.Inst
 	isReturn := in.Op == isa.JMP && in.SrcA == isa.IntReg(26)

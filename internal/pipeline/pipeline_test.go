@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -15,8 +16,14 @@ func sim(t *testing.T, cfg Config, src string) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(cfg, prog)
-	res := s.Run()
+	s, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if live := s.LiveRegs(); live != 0 {
 		t.Errorf("%s: %d physical registers leaked", cfg.Name, live)
 	}

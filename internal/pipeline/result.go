@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -58,6 +59,17 @@ type Result struct {
 	BPLookups   uint64
 	L1DMissRate float64
 	L1IMissRate float64
+
+	// Intervals is the run's telemetry time series, populated when
+	// RunOpts.Interval > 0: one record per Interval cycles (the last may
+	// be shorter). Summing the interval counters field-wise reproduces
+	// the run totals above.
+	Intervals []IntervalStats
+
+	// Truncated reports why the simulation stopped early (TruncNone for
+	// a run that reached HALT). A truncated Result reflects the machine
+	// state at the cut, not program completion.
+	Truncated TruncateReason
 }
 
 // IPC returns retired instructions per cycle.
@@ -113,7 +125,20 @@ func (r *Result) String() string {
 	return fmt.Sprintf("%s/%s: %d insts, %d cycles, IPC %.3f", r.Program, r.Machine, r.Retired, r.Cycles, r.IPC())
 }
 
-// Run builds a simulator and runs prog under cfg (convenience).
+// Run builds a session and runs prog under cfg to completion,
+// panicking on an invalid config or a wedged simulation.
+//
+// Deprecated: Run is the pre-session API, kept for callers that need
+// neither cancellation nor telemetry. New code should use New and
+// Session.Run, which report errors and take a context.
 func Run(cfg Config, prog *emu.Program) *Result {
-	return New(cfg, prog).Run()
+	s, err := New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Run(context.Background(), RunOpts{})
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -12,7 +12,7 @@ import (
 // (executed / early / eliminated), and key cycle timestamps. Intended
 // for debugging and for studying individual optimizer decisions; it
 // slows simulation considerably. Call before Run.
-func (s *Sim) SetTraceWriter(w io.Writer) {
+func (s *Session) SetTraceWriter(w io.Writer) {
 	s.onRetire = func(op *dynOp, cycle uint64) {
 		disp := "exec"
 		switch op.res.Kind {

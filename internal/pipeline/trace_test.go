@@ -3,6 +3,7 @@ package pipeline
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -34,9 +35,15 @@ start:
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	s := New(DefaultConfig(), prog)
+	s, err := New(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.SetTraceWriter(&buf)
-	res := s.Run()
+	res, err := s.Run(context.Background(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	out := buf.String()
 	lines := 0

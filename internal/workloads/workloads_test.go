@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/emu"
@@ -137,8 +138,14 @@ func TestPipelineAgreesWithOracle(t *testing.T) {
 				pipeline.DefaultConfig().Baseline(),
 				pipeline.DefaultConfig(),
 			} {
-				s := pipeline.New(cfg, b.Program(1))
-				res := s.Run()
+				s, err := pipeline.New(cfg, b.Program(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(context.Background(), pipeline.RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
 				if res.Retired != want {
 					t.Errorf("%s: retired %d, oracle executed %d", cfg.Name, res.Retired, want)
 				}
