@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	contopt list                      workload inventory (Table 1)
+//	contopt list [-v]                 workload inventory (Table 1)
 //	contopt run <bench> [flags]       simulate one benchmark, both machines
 //	contopt figure6|table3            headline results
 //	contopt figure8|figure9|figure10|figure11|figure12
 //	                                  machine-model and sensitivity studies
 //	contopt ablations                 MBC sweep + policy toggles (beyond paper)
 //	contopt sweep <spec.json>         run a user-defined sweep spec
+//	contopt sample-check [bench ...]  validate the sampled estimator vs exact
 //	contopt all                       everything above
 //
 // Every experiment runs on one shared exper engine, so a single "all"
@@ -27,13 +28,28 @@
 // -progress streams per-interval telemetry (cycle, retired, interval
 // IPC) from every running simulation to stderr.
 //
+// Sampled simulation: -sample switches run/sweep/artifact commands to
+// the sampled estimator — the program fast-forwards through the
+// functional emulator and only periodic detailed windows run in the
+// cycle-level model (see internal/sample). -sample-period,
+// -sample-warmup and -sample-window tune the regime; "sample-check"
+// reports the estimator's error against exact runs and fails when any
+// benchmark's speedup error exceeds -tolerance. -progress telemetry
+// covers exact simulations only — sampled detailed windows are far
+// shorter than one telemetry interval.
+//
 // Flags:
 //
-//	-scale N      override benchmark iteration scale (0 = default)
-//	-parallel N   concurrent simulations (0 = GOMAXPROCS)
-//	-timeout D    abort the whole command after duration D (0 = none)
-//	-progress     stream per-interval simulation progress to stderr
-//	-v            print engine cache statistics when the command ends
+//	-scale N          override benchmark iteration scale (0 = default)
+//	-parallel N       concurrent simulations (0 = GOMAXPROCS)
+//	-timeout D        abort the whole command after duration D (0 = none)
+//	-progress         stream per-interval simulation progress to stderr
+//	-v                verbose: engine cache statistics; instruction counts on list
+//	-sample           estimate via sampled simulation instead of exact runs
+//	-sample-period N  instructions between detailed-window starts
+//	-sample-warmup N  detailed warmup instructions per window (stats discarded)
+//	-sample-window N  measured detailed instructions per window
+//	-tolerance PCT    sample-check failure threshold (default 5)
 package main
 
 import (
@@ -43,6 +59,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,6 +67,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -75,7 +93,13 @@ func run(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the whole command after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-interval simulation progress to stderr")
-	verbose := fs.Bool("v", false, "print engine cache statistics when the command ends")
+	verbose := fs.Bool("v", false, "verbose: engine cache statistics; instruction counts on list")
+	sampled := fs.Bool("sample", false, "estimate via sampled simulation instead of exact runs")
+	samplePeriod := fs.Uint64("sample-period", 0, "instructions between detailed-window starts (0 = default)")
+	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per window, stats discarded (0 = default)")
+	sampleWindow := fs.Uint64("sample-window", 0, "measured detailed instructions per window (0 = default)")
+	tolerance := fs.Float64("tolerance", 5, "sample-check failure threshold, percent")
+	checkIPC := fs.Bool("check-ipc", false, "sample-check: also gate per-machine IPC errors, not just speedup")
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -88,6 +112,28 @@ func run(ctx context.Context, args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// The sampling regime: nil means exact simulation. sample-check
+	// always needs one (it is the point of the command); elsewhere the
+	// tuning flags imply -sample.
+	var sampleCfg *sample.Config
+	if *sampled || cmd == "sample-check" ||
+		*samplePeriod != 0 || *sampleWarmup != 0 || *sampleWindow != 0 {
+		sc := sample.DefaultConfig()
+		if *samplePeriod != 0 {
+			sc.Period = *samplePeriod
+		}
+		if *sampleWarmup != 0 {
+			sc.Warmup = *sampleWarmup
+		}
+		if *sampleWindow != 0 {
+			sc.Window = *sampleWindow
+		}
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		sampleCfg = &sc
 	}
 
 	// One engine per process: every artifact below shares its memoized
@@ -106,7 +152,7 @@ func run(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d cache hits\n", st.Simulations, st.Hits)
 		}()
 	}
-	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine}
+	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine, Sample: sampleCfg}
 	out := os.Stdout
 
 	experiments := map[string]func(context.Context) error{
@@ -131,13 +177,18 @@ func run(ctx context.Context, args []string) error {
 
 	switch cmd {
 	case "list":
-		return list(out)
+		return list(ctx, out, engine, *verbose, *scale)
 	case "run":
 		rest := fs.Args()
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: contopt run <benchmark>")
 		}
+		if sampleCfg != nil {
+			return runOneSampled(ctx, out, engine, rest[0], *scale, *sampleCfg)
+		}
 		return runOne(ctx, out, engine, rest[0], *scale)
+	case "sample-check":
+		return opts.SampleCheck(ctx, out, fs.Args(), *tolerance, *checkIPC)
 	case "sweep":
 		rest := fs.Args()
 		if len(rest) != 1 {
@@ -150,7 +201,12 @@ func run(ctx context.Context, args []string) error {
 		if *scale > 0 {
 			spec.Scale = *scale
 		}
-		sr, err := engine.Sweep(ctx, spec)
+		var sr *exper.SweepResult
+		if sampleCfg != nil {
+			sr, err = engine.SweepSampled(ctx, spec, *sampleCfg)
+		} else {
+			sr, err = engine.Sweep(ctx, spec)
+		}
 		if err != nil {
 			return err
 		}
@@ -182,10 +238,67 @@ func run(ctx context.Context, args []string) error {
 	}
 }
 
-func list(out *os.File) error {
-	for _, b := range workloads.All() {
-		fmt.Fprintf(out, "%-11s %-7s %s\n", b.Suite, b.Name, b.Notes)
+// list prints the workload inventory. With verbose set it also computes
+// each benchmark's dynamic instruction count at the effective scale via
+// the emulator (memoized in the engine) — the number to pick sane
+// sampling windows against.
+func list(ctx context.Context, out *os.File, engine *exper.Runner, verbose bool, scale int) error {
+	if !verbose {
+		for _, b := range workloads.All() {
+			fmt.Fprintf(out, "%-11s %-7s %s\n", b.Suite, b.Name, b.Notes)
+		}
+		return nil
 	}
+	type row struct {
+		b   *workloads.Benchmark
+		n   uint64
+		err error
+	}
+	benches := workloads.All()
+	rows := make([]row, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		rows[i].b = b
+		wg.Add(1)
+		go func(i int, b *workloads.Benchmark) {
+			defer wg.Done()
+			rows[i].n, rows[i].err = engine.InstCount(ctx, b, scale)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, r := range rows {
+		if r.err != nil {
+			return r.err
+		}
+		fmt.Fprintf(out, "%-11s %-7s %10d insts  %s\n", r.b.Suite, r.b.Name, r.n, r.b.Notes)
+	}
+	return nil
+}
+
+// runOneSampled estimates one benchmark on both machines by sampled
+// simulation and reports the estimates with their confidence intervals.
+func runOneSampled(ctx context.Context, out *os.File, engine *exper.Runner, name string, scale int, sc sample.Config) error {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (try 'contopt list')", name)
+	}
+	base, err := engine.RunSampled(ctx, pipeline.DefaultConfig().Baseline(), b, scale, sc)
+	if err != nil {
+		return err
+	}
+	opt, err := engine.RunSampled(ctx, pipeline.DefaultConfig(), b, scale, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s (%s): %s [sampled: period %d, warmup %d, window %d]\n",
+		b.Name, b.Suite, b.Notes, opt.Period, opt.Sampling.Warmup, opt.Sampling.Window)
+	show := func(label string, r *sample.Result) {
+		fmt.Fprintf(out, "  %s %d insts, ~%d cycles (est), IPC %.3f ±%.1f%% (95%% CI, %d windows, %.1f%% detailed)\n",
+			label, r.TotalInsts, r.EstCycles, r.EstIPC(), 100*r.RelCI, len(r.Windows), 100*r.Coverage())
+	}
+	show("baseline: ", base)
+	show("optimized:", opt)
+	fmt.Fprintf(out, "  speedup: %.3f (estimated)\n", opt.SpeedupOver(base))
 	return nil
 }
 
@@ -264,7 +377,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: contopt <command> [flags]
 
 commands:
-  list        workload inventory
+  list        workload inventory (-v adds dynamic instruction counts)
   run <name>  simulate one benchmark on both machines
   table1      workload instruction counts
   figure6     per-benchmark speedups
@@ -279,7 +392,16 @@ commands:
   discrete    continuous vs. offline-style (trace-flushed) optimization
   dead        dead-value fraction, baseline vs. optimized
   verify      check both machines against the oracle on all benchmarks
+  sample-check [bench ...]
+              validate the sampled estimator against exact runs
   all         run every experiment (shared result cache across artifacts)
 
-flags: -scale N, -parallel N, -timeout D, -progress, -v`)
+flags: -scale N, -parallel N, -timeout D, -progress, -v,
+       -sample, -sample-period N, -sample-warmup N, -sample-window N,
+       -tolerance PCT and -check-ipc (sample-check)
+
+-sample applies to run, sweep and every artifact command: simulation
+fast-forwards through the functional emulator and only short periodic
+windows run in the detailed model, trading a bounded, reported error
+for a large speedup at scale.`)
 }

@@ -178,3 +178,87 @@ func TestGenerousTimeoutStillCompletes(t *testing.T) {
 		t.Errorf("run with generous timeout lost output:\n%s", out)
 	}
 }
+
+func TestListVerboseShowsInstCounts(t *testing.T) {
+	out := capture(t, func() error { return run(context.Background(), []string{"list", "-v", "-scale", "1"}) })
+	for _, want := range []string{"insts", "mcf", "untst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list -v output missing %q:\n%s", want, out)
+		}
+	}
+	// mcf at scale 1 executes 5300 dynamic instructions; the verbose
+	// listing must carry the emulator-computed count.
+	if !strings.Contains(out, "5300") {
+		t.Errorf("list -v missing mcf's instruction count:\n%s", out)
+	}
+}
+
+func TestRunSampledCommand(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", "-scale", "1", "-sample", "tst"})
+	})
+	for _, want := range []string{"sampled:", "baseline:", "optimized:", "speedup:", "windows", "95% CI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run -sample output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleCheckCommand(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"sample-check", "-scale", "1", "mgd", "tst"})
+	})
+	for _, want := range []string{"Sample check", "mgd", "tst", "wall time", "within 5.0% of exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sample-check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleCheckUnknownBenchmark(t *testing.T) {
+	if err := run(context.Background(), []string{"sample-check", "bogus"}); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestSampleCheckImpossibleTolerance(t *testing.T) {
+	// A zero tolerance must fail on any benchmark where the estimator is
+	// not exact — mgd at scale 1 samples (it is long enough), so some
+	// error is guaranteed.
+	if err := run(context.Background(), []string{"sample-check", "-scale", "1", "-tolerance", "0", "mgd"}); err == nil {
+		t.Error("expected tolerance-violation error at 0% tolerance")
+	}
+}
+
+func TestSweepSampledCommand(t *testing.T) {
+	spec := `{"title": "sampled CLI sweep", "benchmarks": ["tst"], "per_benchmark": true, "variants": [{"label": "opt"}]}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"sweep", "-scale", "1", "-sample", path})
+	})
+	for _, want := range []string{"sampled CLI sweep", "tst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampled sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampledFigure6Command(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"figure6", "-scale", "1", "-sample"})
+	})
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "mcf") {
+		t.Errorf("figure6 -sample output malformed:\n%.300s", out)
+	}
+}
+
+func TestBadSampleRegimeRejected(t *testing.T) {
+	err := run(context.Background(), []string{"run", "-scale", "1",
+		"-sample-period", "100", "-sample-warmup", "200", "-sample-window", "300", "tst"})
+	if err == nil {
+		t.Error("expected error for overlapping sample windows")
+	}
+}

@@ -20,6 +20,11 @@
 //     progress observers (Progress), and declarative JSON sweep specs
 //     (SweepSpec, LoadSweepSpec, ParseSweepSpec, Sweep) for
 //     user-defined experiments
+//   - sampled simulation (SampleProgram, Engine.RunSampled): functional
+//     fast-forward through the emulator with periodic detailed windows,
+//     estimating whole-run IPC within a reported confidence interval at
+//     a fraction of the cost of an exact run — see SampleConfig for the
+//     regime and SampleResult for the estimate
 //
 // Quick start:
 //
@@ -44,6 +49,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -110,6 +116,34 @@ type SweepVariant = exper.VariantSpec
 // SweepResult holds an executed sweep's simulations and formatting.
 type SweepResult = exper.SweepResult
 
+// SampleConfig sets a sampled-simulation regime: the instruction
+// period between detailed windows (0 = auto-scaled per program), the
+// per-window detailed warmup (statistics discarded) and measured
+// window, and whether fast-forward functionally warms the caches and
+// branch predictor. See sample.Config.
+type SampleConfig = sample.Config
+
+// SampleResult is a sampled-simulation estimate: per-window
+// measurements, the whole-run cycle/IPC estimate, and its 95%
+// confidence interval. Estimate() renders it as a pipeline Result
+// (Sampled == true) for code that formats exact and sampled runs
+// uniformly.
+type SampleResult = sample.Result
+
+// SampleWindow is one measured detailed window of a sampled run.
+type SampleWindow = sample.Window
+
+// DefaultSampleConfig returns the regime behind the CLI's -sample flag.
+func DefaultSampleConfig() SampleConfig { return sample.DefaultConfig() }
+
+// SampleProgram estimates prog's whole-run performance under cfg by
+// sampled simulation (fast-forward + periodic detailed windows),
+// honoring ctx. Pass DefaultSampleConfig() for the standard regime.
+// For registry benchmarks prefer Engine.RunSampled, which memoizes.
+func SampleProgram(ctx context.Context, cfg Config, prog *Program, sc SampleConfig) (*SampleResult, error) {
+	return sample.Run(ctx, cfg, prog, sc)
+}
+
 // OptimizerMode selects baseline / feedback-only / full optimization.
 type OptimizerMode = core.Mode
 
@@ -146,6 +180,21 @@ func Assemble(name, source string) (*Program, error) {
 // described by cfg, validating the configuration.
 func NewSession(cfg Config, prog *Program) (*Session, error) {
 	return pipeline.New(cfg, prog)
+}
+
+// Checkpoint is a self-owned architectural snapshot of an emulator
+// machine — PC, registers, a private memory image, and the dynamic
+// instruction count. Take one with Emulate(...).Snapshot().
+type Checkpoint = emu.Checkpoint
+
+// NewSessionFromCheckpoint builds a session whose oracle resumes prog
+// at the architectural checkpoint ck instead of the entry point: the
+// detailed model then simulates only the instructions from
+// ck.InstCount onward (Result.StartInst records the offset). This is
+// the building block of sampled simulation; the checkpoint is copied,
+// not consumed.
+func NewSessionFromCheckpoint(cfg Config, prog *Program, ck *Checkpoint) (*Session, error) {
+	return pipeline.NewFromCheckpoint(cfg, prog, ck)
 }
 
 // RunProgram simulates prog to completion on the machine described by

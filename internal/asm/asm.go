@@ -220,9 +220,20 @@ func (a *assembler) appendData(seg, cursor uint64, b []byte) {
 	off := cursor - seg
 	need := int(off) + len(b)
 	if need > len(buf) {
-		nb := make([]byte, need)
-		copy(nb, buf)
-		buf = nb
+		if need <= cap(buf) {
+			buf = buf[:need]
+		} else {
+			// Grow geometrically: segments are built by thousands of
+			// 8-byte appends, and exact-size reallocation would copy
+			// the whole segment each time (quadratic).
+			newCap := 2 * cap(buf)
+			if newCap < need {
+				newCap = need
+			}
+			nb := make([]byte, need, newCap)
+			copy(nb, buf)
+			buf = nb
+		}
 	}
 	copy(buf[off:], b)
 	a.data[seg] = buf

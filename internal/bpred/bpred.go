@@ -82,6 +82,23 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Clone returns a deep copy of the predictor's tables, history, and
+// return stack, with statistics counters reset to zero. Sampled
+// simulation hands functionally warmed predictor state to each detailed
+// window this way.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		cfg:     p.cfg,
+		history: p.history,
+		pht:     append([]uint8(nil), p.pht...),
+		btbTag:  append([]uint64(nil), p.btbTag...),
+		btbTgt:  append([]uint64(nil), p.btbTgt...),
+		btbOK:   append([]bool(nil), p.btbOK...),
+		ras:     append([]uint64(nil), p.ras...),
+		rasTop:  p.rasTop,
+	}
+}
+
 // Prediction is the front end's guess for one branch.
 type Prediction struct {
 	// Taken is the predicted direction (always true for unconditional

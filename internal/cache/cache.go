@@ -22,14 +22,18 @@ type Config struct {
 	Latency uint64
 }
 
-// Cache is one set-associative, LRU, allocate-on-miss cache level.
+// Cache is one set-associative, LRU, allocate-on-miss cache level. The
+// tag/valid/LRU state lives in flat [set*assoc+way] arrays, so cloning
+// a level (sampled simulation snapshots warmed contents per detailed
+// window) is three bulk copies rather than thousands of per-set
+// allocations.
 type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
-	tags     [][]uint64 // [set][way]
-	valid    [][]bool
-	lru      [][]uint8 // lower is more recently used
+	tags     []uint64 // [set*assoc+way]
+	valid    []bool
+	lru      []uint8 // lower is more recently used
 
 	// Stats.
 	Accesses uint64
@@ -50,16 +54,12 @@ func New(cfg Config) *Cache {
 	for c.cfg.LineB>>c.lineBits > 1 {
 		c.lineBits++
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint8, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Assoc)
-		c.valid[i] = make([]bool, cfg.Assoc)
-		c.lru[i] = make([]uint8, cfg.Assoc)
-		for w := range c.lru[i] {
-			c.lru[i][w] = uint8(w)
-		}
+	n := sets * cfg.Assoc
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.lru = make([]uint8, n)
+	for i := range c.lru {
+		c.lru[i] = uint8(i % cfg.Assoc)
 	}
 	return c
 }
@@ -72,14 +72,14 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	return int(line % uint64(c.sets)), line / uint64(c.sets)
 }
 
-func (c *Cache) touch(set, way int) {
-	old := c.lru[set][way]
-	for w := range c.lru[set] {
-		if c.lru[set][w] < old {
-			c.lru[set][w]++
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
 		}
 	}
-	c.lru[set][way] = 0
+	c.lru[base+way] = 0
 }
 
 // Access looks up addr, allocating the line on a miss (LRU victim), and
@@ -87,32 +87,50 @@ func (c *Cache) touch(set, way int) {
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	set, tag := c.index(addr)
+	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.touch(set, w)
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.touch(base, w)
 			return true
 		}
 	}
 	c.Misses++
 	// Allocate into the LRU way.
 	victim := 0
-	for w := range c.lru[set] {
-		if c.lru[set][w] == uint8(c.cfg.Assoc-1) {
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.lru[base+w] == uint8(c.cfg.Assoc-1) {
 			victim = w
 			break
 		}
 	}
-	c.tags[set][victim] = tag
-	c.valid[set][victim] = true
-	c.touch(set, victim)
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.touch(base, victim)
 	return false
+}
+
+// Clone returns a deep copy of the cache's tag/valid/LRU state with
+// statistics counters reset to zero. Sampled simulation uses it to hand
+// functionally warmed contents to a detailed window while the warmer
+// keeps its own copy evolving — and the window's miss rates then report
+// only its own accesses.
+func (c *Cache) Clone() *Cache {
+	return &Cache{
+		cfg:      c.cfg,
+		sets:     c.sets,
+		lineBits: c.lineBits,
+		tags:     append([]uint64(nil), c.tags...),
+		valid:    append([]bool(nil), c.valid...),
+		lru:      append([]uint8(nil), c.lru...),
+	}
 }
 
 // Probe reports whether addr is resident without updating any state.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
+	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+		if c.valid[base+w] && c.tags[base+w] == tag {
 			return true
 		}
 	}
@@ -160,6 +178,17 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L1D:        New(cfg.L1D),
 		L2:         New(cfg.L2),
 		MemLatency: cfg.MemLatency,
+	}
+}
+
+// Clone returns a deep copy of the hierarchy (see Cache.Clone; the
+// clone's statistics start at zero).
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		L1I:        h.L1I.Clone(),
+		L1D:        h.L1D.Clone(),
+		L2:         h.L2.Clone(),
+		MemLatency: h.MemLatency,
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "reflect"
+import (
+	"math"
+	"reflect"
+)
 
 // Mode selects how much of the optimizer is active.
 type Mode int
@@ -180,6 +183,19 @@ func (s Stats) Add(other Stats) Stats {
 	o := reflect.ValueOf(&other).Elem()
 	for i := 0; i < v.NumField(); i++ {
 		v.Field(i).SetUint(v.Field(i).Uint() + o.Field(i).Uint())
+	}
+	return s
+}
+
+// Scale returns every counter multiplied by f (rounded to nearest).
+// Sampled simulation uses it to extrapolate the events of the measured
+// windows to a whole-run estimate; because all fields scale by the same
+// factor, every ratio derived from the result (Table 3's percentages)
+// is preserved up to rounding. f must be non-negative.
+func (s Stats) Scale(f float64) Stats {
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(math.Round(float64(v.Field(i).Uint()) * f)))
 	}
 	return s
 }

@@ -104,6 +104,15 @@ type Optimizer struct {
 // initial (zero) mappings; the file must be large enough to leave
 // headroom for the in-flight window.
 func NewOptimizer(cfg Config, prf *regfile.File) *Optimizer {
+	return NewOptimizerAt(cfg, prf, nil)
+}
+
+// NewOptimizerAt builds an optimizer whose initial architectural state
+// is regs instead of the all-zero reset state — the seam checkpoint-
+// seeded simulation needs: a restore writes the architectural registers
+// through the pipeline, so their values are as known to the hardware as
+// the reset zeros are. nil regs means reset state.
+func NewOptimizerAt(cfg Config, prf *regfile.File, regs *[isa.NumRegs]uint64) *Optimizer {
 	o := &Optimizer{
 		cfg:      cfg,
 		prf:      prf,
@@ -125,14 +134,20 @@ func NewOptimizer(cfg Config, prf *regfile.File) *Optimizer {
 		if p == regfile.NoPReg {
 			panic("core: register file too small for initial mappings")
 		}
-		prf.Write(p, 0)
+		var v uint64
+		if regs != nil {
+			v = regs[r]
+		}
+		prf.Write(p, v)
+		o.vals[p] = v
 		e := &o.rat[r]
 		e.preg = p
 		e.symOK = reg.IsInt()
-		// Architectural reset state is zero, which the hardware knows;
-		// seed integer entries with the known constant.
+		// The initial architectural state is known to the hardware —
+		// zero at reset, the restored values at a checkpoint; seed
+		// integer entries with the known constant.
 		if e.symOK && cfg.Mode == ModeFull {
-			e.sym = Const(0)
+			e.sym = Const(v)
 		} else {
 			e.sym = Sym(p)
 			prf.AddRef(p) // sym base reference
@@ -680,7 +695,7 @@ func (o *Optimizer) renameStore(d *emu.DynInst, res *RenameResult) {
 			// memory image: forwarding is valid only when they agree,
 			// which the load-side check enforces.
 			oracle := d.StoreVal
-			if len(in.Sources()) > 1 {
+			if _, n := in.Sources(); n > 1 {
 				oracle = d.SrcVals[1]
 			}
 			o.mbc.install(d.Addr, in.Op.MemBytes(), data.preg, sym, oracle, o.bundle)

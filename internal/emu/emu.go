@@ -234,24 +234,110 @@ func BranchTaken(op isa.Op, a uint64) bool {
 	panic(fmt.Sprintf("emu: BranchTaken called with %v", op))
 }
 
+// Checkpoint is a self-contained architectural snapshot of a Machine:
+// everything needed to resume execution at the same dynamic instruction
+// — PC, register file, a private deep copy of the memory image, and the
+// dynamic instruction count. Checkpoints are what the sampled-simulation
+// subsystem fast-forwards between: internal/sample captures one at each
+// detailed-window start and seeds a fresh pipeline.Session from it.
+//
+// A Checkpoint owns its memory image: Snapshot and Restore both deep-
+// copy, so neither later execution of the source machine nor execution
+// of a machine restored from the checkpoint can mutate it. A single
+// checkpoint may therefore seed any number of machines.
+type Checkpoint struct {
+	// Program is the name of the program the snapshot was taken from;
+	// Restore and NewAt reject a checkpoint of a different program.
+	Program string
+	// PC is the next instruction to execute.
+	PC uint64
+	// InstCount is the number of dynamic instructions executed before
+	// the checkpoint (the resume point's 0-based sequence number).
+	InstCount uint64
+	// Halted records whether the machine had already executed HALT.
+	Halted bool
+	// Regs is the architectural register file (floats as IEEE bits).
+	Regs [isa.NumRegs]uint64
+	// Mem is the checkpoint's private memory image.
+	Mem *mem.Memory
+}
+
+// Snapshot captures the machine's architectural state as a self-owned
+// checkpoint. The memory image is deep-copied, so the machine may keep
+// running (and storing) without disturbing the snapshot.
+func (m *Machine) Snapshot() *Checkpoint {
+	return &Checkpoint{
+		Program:   m.prog.Name,
+		PC:        m.PC,
+		InstCount: m.seq,
+		Halted:    m.halt,
+		Regs:      m.Regs,
+		Mem:       m.Mem.Clone(),
+	}
+}
+
+// Restore replaces the machine's architectural state with the
+// checkpoint's. The checkpoint's memory image is deep-copied in, so the
+// checkpoint stays reusable after the restored machine resumes (and
+// stores). Restore panics when the checkpoint belongs to a different
+// program — resuming another program's state is a programming error.
+func (m *Machine) Restore(c *Checkpoint) {
+	if c.Program != m.prog.Name {
+		panic(fmt.Sprintf("emu: restoring %q checkpoint into %q machine", c.Program, m.prog.Name))
+	}
+	m.Regs = c.Regs
+	m.Mem = c.Mem.Clone()
+	m.PC = c.PC
+	m.seq = c.InstCount
+	m.halt = c.Halted
+}
+
+// NewAt constructs a machine for p resumed at checkpoint c — the
+// functional-fast-forward entry point: snapshot one machine mid-run,
+// then seed as many fresh machines (or pipeline sessions) as needed
+// from the same architectural instant. Unlike New followed by Restore,
+// NewAt never materializes the program's initial data image — the
+// checkpoint's image fully replaces it, and sampled simulation builds
+// one machine per detailed window.
+func NewAt(p *Program, c *Checkpoint) *Machine {
+	if c.Program != p.Name {
+		panic(fmt.Sprintf("emu: resuming %q checkpoint on program %q", c.Program, p.Name))
+	}
+	return &Machine{
+		Regs: c.Regs,
+		Mem:  c.Mem.Clone(),
+		PC:   c.PC,
+		prog: p,
+		seq:  c.InstCount,
+		halt: c.Halted,
+	}
+}
+
 // Step executes one instruction and returns its dynamic record. Calling
 // Step after HALT returns nil.
 func (m *Machine) Step() *DynInst {
 	if m.halt {
 		return nil
 	}
+	d := new(DynInst)
+	m.step(d)
+	return d
+}
+
+// step executes one instruction into d, which the caller may reuse
+// (Run's fast-forward loop does, to keep functional emulation
+// allocation-free). The machine must not be halted.
+func (m *Machine) step(d *DynInst) {
 	if m.PC >= uint64(len(m.prog.Code)) {
 		panic(fmt.Sprintf("emu: PC %d outside program %q (len %d)", m.PC, m.prog.Name, len(m.prog.Code)))
 	}
 	in := &m.prog.Code[m.PC]
-	d := &DynInst{Seq: m.seq, PC: m.PC, Inst: in}
+	*d = DynInst{Seq: m.seq, PC: m.PC, Inst: in}
 	m.seq++
 
-	srcs := in.Sources()
-	for i, r := range srcs {
-		if i < len(d.SrcVals) {
-			d.SrcVals[i] = m.Reg(r)
-		}
+	srcs, n := in.Sources()
+	for i := 0; i < n; i++ {
+		d.SrcVals[i] = m.Reg(srcs[i])
 	}
 
 	next := m.PC + 1
@@ -312,18 +398,97 @@ func (m *Machine) Step() *DynInst {
 	}
 	m.PC = next
 	d.NextPC = next
-	return d
 }
 
 // Run executes until HALT or until max instructions have run (max <= 0
-// means unlimited). It returns the number of instructions executed.
+// means unlimited). It returns the number of instructions executed. Run
+// goes through stepArch — architectural effects only, no dynamic
+// record — so fast-forwarding costs a fraction of observed stepping.
 func (m *Machine) Run(max uint64) uint64 {
 	start := m.seq
 	for !m.halt {
 		if max > 0 && m.seq-start >= max {
 			break
 		}
-		m.Step()
+		m.stepArch()
+	}
+	return m.seq - start
+}
+
+// stepArch executes one instruction for architectural effect only: the
+// fast-forward path of sampled simulation, where nothing consumes the
+// dynamic record. It must mirror step exactly. The machine must not be
+// halted.
+func (m *Machine) stepArch() {
+	if m.PC >= uint64(len(m.prog.Code)) {
+		panic(fmt.Sprintf("emu: PC %d outside program %q (len %d)", m.PC, m.prog.Name, len(m.prog.Code)))
+	}
+	in := &m.prog.Code[m.PC]
+	m.seq++
+	next := m.PC + 1
+	switch in.Op.Class() {
+	case isa.ClassNop:
+		// nothing
+	case isa.ClassSimpleInt, isa.ClassComplexInt, isa.ClassFP:
+		a := m.Reg(in.SrcA)
+		var b uint64
+		if in.Op == isa.LDI {
+			a = uint64(in.Imm)
+		} else if in.HasImm {
+			b = uint64(in.Imm)
+		} else {
+			b = m.Reg(in.SrcB)
+		}
+		m.setReg(in.Dst, EvalALU(in.Op, a, b))
+	case isa.ClassLoad:
+		addr := m.Reg(in.SrcA) + uint64(in.Imm)
+		if in.Op == isa.LDL {
+			m.setReg(in.Dst, uint64(int64(int32(m.Mem.Load32(addr)))))
+		} else {
+			m.setReg(in.Dst, m.Mem.Load64(addr))
+		}
+	case isa.ClassStore:
+		addr := m.Reg(in.SrcA) + uint64(in.Imm)
+		if in.Op == isa.STL {
+			m.Mem.Store32(addr, uint32(m.Reg(in.SrcB)))
+		} else {
+			m.Mem.Store64(addr, m.Reg(in.SrcB))
+		}
+	case isa.ClassBranch:
+		switch {
+		case in.Op.IsCondBranch():
+			if BranchTaken(in.Op, m.Reg(in.SrcA)) {
+				next = uint64(in.Imm)
+			}
+		case in.Op == isa.BR:
+			next = uint64(in.Imm)
+		case in.Op == isa.JSR:
+			m.setReg(in.Dst, m.PC+1)
+			next = uint64(in.Imm)
+		case in.Op == isa.JMP:
+			next = m.Reg(in.SrcA)
+		}
+	case isa.ClassHalt:
+		m.halt = true
+	}
+	m.PC = next
+}
+
+// RunObserved executes until HALT or until max instructions have run
+// (max <= 0 means unlimited), invoking fn on every dynamic record, and
+// returns the number of instructions executed. The record is reused
+// across calls — fn must not retain it — which keeps observed
+// fast-forward (e.g. functional cache/predictor warming in sampled
+// simulation) allocation-free like Run.
+func (m *Machine) RunObserved(max uint64, fn func(*DynInst)) uint64 {
+	start := m.seq
+	var scratch DynInst
+	for !m.halt {
+		if max > 0 && m.seq-start >= max {
+			break
+		}
+		m.step(&scratch)
+		fn(&scratch)
 	}
 	return m.seq - start
 }

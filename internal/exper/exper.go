@@ -26,6 +26,16 @@
 // tagged with the run's identity) as it crosses interval boundaries,
 // which is how long sweeps become watchable.
 //
+// RunSampled/SampledMatrix/SweepSampled are the sampled-simulation
+// mode: cells become statistical estimates from periodic detailed
+// windows (internal/sample) instead of exact runs. Sampled results are
+// memoized in their own cache, keyed additionally by the sampling
+// regime, so an exact result and a sampled estimate of the same triple
+// can never collide. Engine-level progress observers apply to exact
+// simulations only: a sampled run's detailed windows are hundreds of
+// instructions each — orders of magnitude shorter than a telemetry
+// interval — so no interval would ever close inside one.
+//
 // On top of the Runner, SweepSpec (spec.go) describes a whole experiment
 // declaratively — a benchmark filter, a reference machine, and a list of
 // labeled config variants — and can be loaded from JSON, which is how
@@ -42,6 +52,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -63,6 +74,9 @@ type Runner struct {
 	mu   sync.Mutex
 	sims map[simKey]*flight[*pipeline.Result]
 
+	pmu     sync.Mutex
+	sampled map[sampleKey]*flight[*sample.Result]
+
 	cmu    sync.Mutex
 	counts map[countKey]*flight[uint64]
 
@@ -78,6 +92,17 @@ type simKey struct {
 	cfg   string
 	bench string
 	scale int
+}
+
+// sampleKey keys sampled runs: the machine config key plus the sampling
+// regime key. Sampled estimates live in their own map, so an exact and
+// a sampled result for the same (config, benchmark, scale) can never
+// collide — they are different estimators of the same quantity.
+type sampleKey struct {
+	cfg      string
+	bench    string
+	scale    int
+	sampling string
 }
 
 type countKey struct {
@@ -158,6 +183,7 @@ func NewRunner(parallelism int) *Runner {
 	return &Runner{
 		sem:           make(chan struct{}, parallelism),
 		sims:          map[simKey]*flight[*pipeline.Result]{},
+		sampled:       map[sampleKey]*flight[*sample.Result]{},
 		counts:        map[countKey]*flight[uint64]{},
 		progressEvery: DefaultProgressInterval,
 	}
@@ -311,6 +337,52 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workl
 	return res, nil
 }
 
+// RunSampled estimates bench at scale under cfg by sampled simulation
+// (functional fast-forward + periodic detailed windows; see
+// internal/sample), memoized by (config key, benchmark, scale, sampling
+// regime) — a cache disjoint from the exact-result cache, so sampled
+// estimates and exact results never collide. Cancellation semantics
+// match Run: a canceled leader hands the slot to a live waiter.
+func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *workloads.Benchmark, scale int, sc sample.Config) (*sample.Result, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	scale = effectiveScale(bench, scale)
+	k := sampleKey{cfg: cfg.Key(), bench: bench.Name, scale: scale, sampling: sc.Key()}
+
+	res, leader, err := singleflight(ctx, &r.pmu, r.sampled, k, func(ctx context.Context) (*sample.Result, error) {
+		// The counting pre-pass is shared: InstCount is memoized per
+		// (benchmark, scale), so every machine configuration sampling
+		// the same workload reuses one emulation of it.
+		total, err := r.InstCount(ctx, bench, scale)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case r.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-r.sem }()
+		r.runs.Add(1)
+		sr, err := sample.RunTotal(ctx, cfg, bench.Program(scale), sc, total)
+		if err != nil {
+			return nil, err
+		}
+		sr.Scale = scale
+		return sr, nil
+	})
+	if err == nil && !leader {
+		r.hits.Add(1)
+	}
+	return res, err
+}
+
 // InstCount returns bench's dynamic instruction count at scale from the
 // architectural emulator, memoized by (benchmark, scale). Emulation runs
 // under the same worker pool as simulations and honors ctx with the same
@@ -352,6 +424,27 @@ func (r *Runner) emulate(ctx context.Context, bench *workloads.Benchmark, scale 
 // cancellation) Matrix cancels the remaining cells, waits for every
 // worker goroutine to exit, and returns the first error observed.
 func (r *Runner) Matrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config, scale int) ([][]*pipeline.Result, error) {
+	return r.matrix(ctx, benches, cfgs, func(ctx context.Context, cfg pipeline.Config, b *workloads.Benchmark) (*pipeline.Result, error) {
+		return r.Run(ctx, cfg, b, scale)
+	})
+}
+
+// SampledMatrix is Matrix under sampled simulation: every cell is a
+// RunSampled estimate rendered as a whole-run pipeline.Result (Sampled
+// set, Cycles estimated, event counters extrapolated), so artifact
+// formatting over the cells is identical to the exact path.
+func (r *Runner) SampledMatrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config, scale int, sc sample.Config) ([][]*pipeline.Result, error) {
+	return r.matrix(ctx, benches, cfgs, func(ctx context.Context, cfg pipeline.Config, b *workloads.Benchmark) (*pipeline.Result, error) {
+		sr, err := r.RunSampled(ctx, cfg, b, scale, sc)
+		if err != nil {
+			return nil, err
+		}
+		return sr.Estimate(), nil
+	})
+}
+
+// matrix fans every (benchmark, config) cell out over the worker pool.
+func (r *Runner) matrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config, cell func(context.Context, pipeline.Config, *workloads.Benchmark) (*pipeline.Result, error)) ([][]*pipeline.Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([][]*pipeline.Result, len(benches))
@@ -366,7 +459,7 @@ func (r *Runner) Matrix(ctx context.Context, benches []*workloads.Benchmark, cfg
 			wg.Add(1)
 			go func(i, c int, b *workloads.Benchmark) {
 				defer wg.Done()
-				res, err := r.Run(ctx, cfgs[c], b, scale)
+				res, err := cell(ctx, cfgs[c], b)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err

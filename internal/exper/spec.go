@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -304,6 +305,17 @@ type SweepResult struct {
 // runner's cache. Canceling ctx aborts the in-flight cells and returns
 // the cancellation error.
 func (r *Runner) Sweep(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
+	return r.sweep(ctx, spec, nil)
+}
+
+// SweepSampled executes spec under sampled simulation: every cell is a
+// sampled estimate (see RunSampled) instead of an exact run, memoized
+// in the sampled-result cache.
+func (r *Runner) SweepSampled(ctx context.Context, spec *SweepSpec, sc sample.Config) (*SweepResult, error) {
+	return r.sweep(ctx, spec, &sc)
+}
+
+func (r *Runner) sweep(ctx context.Context, spec *SweepSpec, sc *sample.Config) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -324,7 +336,12 @@ func (r *Runner) Sweep(ctx context.Context, spec *SweepSpec) (*SweepResult, erro
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	cells, err := r.Matrix(ctx, benches, cfgs, spec.Scale)
+	var cells [][]*pipeline.Result
+	if sc != nil {
+		cells, err = r.SampledMatrix(ctx, benches, cfgs, spec.Scale, *sc)
+	} else {
+		cells, err = r.Matrix(ctx, benches, cfgs, spec.Scale)
+	}
 	if err != nil {
 		return nil, err
 	}

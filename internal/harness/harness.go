@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/exper"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -49,6 +50,12 @@ type Options struct {
 	// scale) triple once per process. Nil runs each artifact on a
 	// private engine (still deduplicated within the artifact).
 	Engine *exper.Runner
+	// Sample, when non-nil, switches every artifact to sampled
+	// simulation: cells become statistical estimates from periodic
+	// detailed windows (see internal/sample) instead of exact runs —
+	// much faster at large scale, accurate to the reported confidence
+	// interval. Sampled and exact results are cached separately.
+	Sample *sample.Config
 }
 
 func (o Options) machine() pipeline.Config {
@@ -71,10 +78,19 @@ type suiteRun struct {
 }
 
 // runMatrix simulates every benchmark under every configuration on the
-// engine (memoized; see Options.Engine). Canceling ctx aborts the
+// engine (memoized; see Options.Engine) — exactly, or by sampled
+// estimation when Options.Sample is set. Canceling ctx aborts the
 // remaining cells and surfaces the cancellation error.
 func (o Options) runMatrix(ctx context.Context, benches []*workloads.Benchmark, cfgs []pipeline.Config) ([]suiteRun, error) {
-	cells, err := o.engine().Matrix(ctx, benches, cfgs, o.Scale)
+	var (
+		cells [][]*pipeline.Result
+		err   error
+	)
+	if o.Sample != nil {
+		cells, err = o.engine().SampledMatrix(ctx, benches, cfgs, o.Scale, *o.Sample)
+	} else {
+		cells, err = o.engine().Matrix(ctx, benches, cfgs, o.Scale)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -309,19 +309,22 @@ type Inst struct {
 }
 
 // Sources returns the architectural source registers read by the
-// instruction, in operand order. Hardwired zero registers are included
-// (they read as constants but still occupy operand slots).
-func (in *Inst) Sources() []Reg {
-	var out []Reg
+// instruction, in operand order: srcs[:n] are the registers read.
+// Hardwired zero registers are included (they read as constants but
+// still occupy operand slots). The fixed-array form keeps the call
+// allocation-free — it sits on the emulator's per-instruction path.
+func (in *Inst) Sources() (srcs [2]Reg, n int) {
 	if in.SrcA != NoReg {
-		out = append(out, in.SrcA)
+		srcs[n] = in.SrcA
+		n++
 	}
 	// SrcB is read by register-form ALU ops and, regardless of the
 	// displacement immediate, by stores (it carries the store data).
 	if in.SrcB != NoReg && (!in.HasImm || in.Op.IsStore()) {
-		out = append(out, in.SrcB)
+		srcs[n] = in.SrcB
+		n++
 	}
-	return out
+	return srcs, n
 }
 
 // WritesReg reports whether the instruction produces a register result,

@@ -180,12 +180,12 @@ func TestInstSources(t *testing.T) {
 		{"jmp", Inst{Op: JMP, SrcA: IntReg(26), SrcB: NoReg, Dst: NoReg}, []Reg{IntReg(26)}},
 	}
 	for _, c := range cases {
-		got := c.in.Sources()
-		if len(got) != len(c.want) {
-			t.Errorf("%s: Sources() = %v, want %v", c.name, got, c.want)
+		got, n := c.in.Sources()
+		if n != len(c.want) {
+			t.Errorf("%s: Sources() n = %d (%v), want %v", c.name, n, got[:n], c.want)
 			continue
 		}
-		for i := range got {
+		for i := 0; i < n; i++ {
 			if got[i] != c.want[i] {
 				t.Errorf("%s: Sources()[%d] = %v, want %v", c.name, i, got[i], c.want[i])
 			}

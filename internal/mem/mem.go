@@ -7,7 +7,10 @@
 // aligned" (§3.2); Load64/Store64 enforce that alignment.
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 const (
 	pageBits = 12
@@ -19,6 +22,12 @@ const (
 // Memory is a sparse 64-bit address space. The zero value is ready to use.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// One-entry lookup cache: accesses cluster within a page, and the
+	// page map never shrinks, so the cached pointer stays valid. This
+	// takes the page-map hash out of the emulator's hot load/store path.
+	lastKey  uint64
+	lastPage *[PageSize]byte
 }
 
 // New returns an empty memory image.
@@ -27,17 +36,23 @@ func New() *Memory {
 }
 
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	key := addr >> pageBits
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		if !alloc {
 			return nil
 		}
 		m.pages = make(map[uint64]*[PageSize]byte)
 	}
-	key := addr >> pageBits
 	p := m.pages[key]
 	if p == nil && alloc {
 		p = new([PageSize]byte)
 		m.pages[key] = p
+	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
 	}
 	return p
 }
@@ -50,6 +65,10 @@ func checkAlign(addr uint64) {
 	}
 }
 
+// Words are stored little-endian; encoding/binary's fixed-width
+// accessors compile to single loads/stores, which matters because these
+// sit on the emulator's per-instruction path.
+
 // Load64 reads the 8-byte word at the naturally aligned address addr.
 func (m *Memory) Load64(addr uint64) uint64 {
 	checkAlign(addr)
@@ -58,11 +77,7 @@ func (m *Memory) Load64(addr uint64) uint64 {
 		return 0
 	}
 	off := addr & pageMask
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(p[off+uint64(i)])
-	}
-	return v
+	return binary.LittleEndian.Uint64(p[off : off+8])
 }
 
 // Store64 writes the 8-byte word v at the naturally aligned address addr.
@@ -70,10 +85,7 @@ func (m *Memory) Store64(addr uint64, v uint64) {
 	checkAlign(addr)
 	p := m.page(addr, true)
 	off := addr & pageMask
-	for i := 0; i < 8; i++ {
-		p[off+uint64(i)] = byte(v)
-		v >>= 8
-	}
+	binary.LittleEndian.PutUint64(p[off:off+8], v)
 }
 
 // Load32 reads the 4-byte word at the naturally aligned address addr.
@@ -86,11 +98,7 @@ func (m *Memory) Load32(addr uint64) uint32 {
 		return 0
 	}
 	off := addr & pageMask
-	var v uint32
-	for i := 3; i >= 0; i-- {
-		v = v<<8 | uint32(p[off+uint64(i)])
-	}
-	return v
+	return binary.LittleEndian.Uint32(p[off : off+4])
 }
 
 // Store32 writes the 4-byte word v at the naturally aligned address addr.
@@ -100,10 +108,7 @@ func (m *Memory) Store32(addr uint64, v uint32) {
 	}
 	p := m.page(addr, true)
 	off := addr & pageMask
-	for i := 0; i < 4; i++ {
-		p[off+uint64(i)] = byte(v)
-		v >>= 8
-	}
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
 }
 
 // LoadByte reads one byte (used by image loading and debugging tools).

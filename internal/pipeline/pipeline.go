@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -130,27 +132,91 @@ type feedbackEv struct {
 // normalized (a zero Config means the default machine) and validated;
 // an invalid config is reported as an error rather than a panic.
 func New(cfg Config, prog *emu.Program) (*Session, error) {
+	return newSession(cfg, prog, nil, WarmState{})
+}
+
+// NewFromCheckpoint builds a session whose oracle resumes prog at the
+// architectural checkpoint ck (taken with emu.Machine.Snapshot) instead
+// of the program entry point: the detailed model executes only the
+// instructions from ck.InstCount onward, starting with cold caches,
+// predictor, and optimizer tables. This is the seam sampled simulation
+// is built on — fast-forward functionally, then run a short detailed
+// window from the checkpoint (RunOpts.MaxRetired bounds the window,
+// RunOpts.WarmupRetired discards the cold-start prefix from the
+// measured statistics). Result.StartInst records the offset.
+//
+// The checkpoint is not consumed: its memory image is copied, so one
+// checkpoint can seed any number of sessions (e.g. the same window on
+// several machine configurations).
+func NewFromCheckpoint(cfg Config, prog *emu.Program, ck *emu.Checkpoint) (*Session, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("pipeline: nil checkpoint")
+	}
+	if ck.Program != prog.Name {
+		return nil, fmt.Errorf("pipeline: checkpoint of %q cannot seed program %q", ck.Program, prog.Name)
+	}
+	if ck.Halted {
+		return nil, fmt.Errorf("pipeline: checkpoint of %q is already halted", ck.Program)
+	}
+	return newSession(cfg, prog, ck, WarmState{})
+}
+
+func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState) (*Session, error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var (
+		oracle   *emu.Machine
+		initRegs *[isa.NumRegs]uint64
+	)
+	if ck != nil {
+		oracle = emu.NewAt(prog, ck)
+		// The rename tables must believe the checkpoint's register
+		// values, not the reset zeros, or optimizer verification
+		// (rightly) rejects the seeded state.
+		regs := ck.Regs
+		initRegs = &regs
+	} else {
+		oracle = emu.New(prog)
+	}
 	prf := regfile.New(cfg.PRegs)
+	bp := ws.bp
+	if bp == nil {
+		bp = bpred.New(cfg.BPred)
+	}
+	caches := ws.caches
+	if caches == nil {
+		caches = cache.NewHierarchy(cfg.Caches)
+	}
 	s := &Session{
 		cfg:         cfg,
-		oracle:      emu.New(prog),
+		oracle:      oracle,
 		prf:         prf,
-		opt:         core.NewOptimizer(cfg.Opt, prf),
-		bp:          bpred.New(cfg.BPred),
-		caches:      cache.NewHierarchy(cfg.Caches),
+		opt:         core.NewOptimizerAt(cfg.Opt, prf, initRegs),
+		bp:          bp,
+		caches:      caches,
 		ready:       make([]uint64, cfg.PRegs),
 		completions: make(map[uint64][]*dynOp),
 		feedbackQ:   make(map[uint64][]feedbackEv),
 		lastStore:   make(map[uint64]*dynOp),
 		lastLine:    notReady,
+		// Pre-size the pipeline queues to their steady-state bounds so
+		// sessions skip the initial slice-growth ramp — noticeable when
+		// sampled simulation builds one short session per window.
+		fetchQ: make([]*dynOp, 0, cfg.FetchWidth*int(cfg.FrontLat+2)),
+		renQ:   make([]*dynOp, 0, cfg.FetchWidth*int(cfg.totalRenameLat()+cfg.DispatchLat+2)),
+		window: make([]*dynOp, 0, cfg.WindowSize),
+	}
+	for c := schedInt; c < numScheds; c++ {
+		s.scheds[c] = make([]*dynOp, 0, cfg.SchedEntries)
 	}
 	s.res.Machine = cfg.Name
 	s.res.Program = prog.Name
 	s.res.ConfigKey = cfg.Key()
+	if ck != nil {
+		s.res.StartInst = ck.InstCount
+	}
 	return s, nil
 }
 

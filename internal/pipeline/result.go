@@ -27,6 +27,17 @@ type Result struct {
 	// experiment engine stamps the effective scale).
 	Scale int
 
+	// StartInst is the dynamic instruction number the session was seeded
+	// at (0 for a run from the program entry; NewFromCheckpoint sets it
+	// to the checkpoint's instruction count).
+	StartInst uint64
+
+	// Sampled marks a Result that is a statistical estimate assembled
+	// from sampled detailed windows (internal/sample) rather than a
+	// cycle-exact whole-run simulation. Cycles is then the estimated
+	// whole-run cycle count and the event counters are extrapolated.
+	Sampled bool
+
 	// Cycles and Retired give raw performance; IPC() combines them.
 	Cycles  uint64
 	Retired uint64
@@ -70,6 +81,55 @@ type Result struct {
 	// a run that reached HALT). A truncated Result reflects the machine
 	// state at the cut, not program completion.
 	Truncated TruncateReason
+
+	// Measured is the post-warmup slice of the run, populated when
+	// RunOpts.WarmupRetired > 0 and the run crossed the boundary: the
+	// cycles and events after the first WarmupRetired retirements. The
+	// whole-run totals above still cover warmup + measured; Measured is
+	// what sampled simulation aggregates.
+	Measured *MeasuredWindow
+}
+
+// MeasuredWindow is the measured region of a warmup+measure run: every
+// counter covers only the cycles after the RunOpts.WarmupRetired
+// boundary, so WarmupCycles + Cycles equals the run's total cycles and
+// WarmupRetired + Retired equals its total retirements.
+type MeasuredWindow struct {
+	// WarmupCycles and WarmupRetired locate the boundary: the cycle the
+	// measurement opened at and the retirements before it (>= the
+	// requested WarmupRetired; the retire stage drains up to RetireWidth
+	// instructions in the boundary cycle).
+	WarmupCycles  uint64
+	WarmupRetired uint64
+
+	// Cycles and Retired are the measured region's extent.
+	Cycles  uint64
+	Retired uint64
+
+	// Branch events of the measured region (see Result).
+	Mispredicted    uint64
+	EarlyRecovered  uint64
+	LateRecovered   uint64
+	DecodeRedirects uint64
+
+	// Opt holds the optimizer events of the measured region.
+	Opt core.Stats
+}
+
+// IPC returns the measured region's retired instructions per cycle.
+func (m *MeasuredWindow) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Retired) / float64(m.Cycles)
+}
+
+// CPI returns the measured region's cycles per retired instruction.
+func (m *MeasuredWindow) CPI() float64 {
+	if m.Retired == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Retired)
 }
 
 // IPC returns retired instructions per cycle.

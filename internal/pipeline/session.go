@@ -32,6 +32,15 @@ type RunOpts struct {
 	// long runs, where keeping the series would cost memory for data
 	// nobody re-reads.
 	StreamOnly bool
+	// WarmupRetired, when > 0, marks a measurement boundary: once that
+	// many instructions have retired, the session snapshots its counters
+	// and Result.Measured reports only the events after the boundary.
+	// This is how sampled simulation discards a detailed window's
+	// cold-start warmup (caches, predictor, optimizer tables filling)
+	// from the measured statistics. The run itself is unaffected — use
+	// MaxRetired to bound warmup + measured window together. If the run
+	// ends before the boundary is reached, Result.Measured stays nil.
+	WarmupRetired uint64
 }
 
 // TruncateReason says why a simulation stopped before program
@@ -133,6 +142,9 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 		lastProgress uint64
 		ivStart      uint64 // first cycle of the open interval
 		prev         snapshot
+		warmed       bool
+		warmSnap     snapshot
+		warmCycle    uint64
 	)
 	ivIndex := 0
 	closeInterval := func() {
@@ -192,6 +204,11 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 		if opts.Interval > 0 && s.cycle-ivStart >= opts.Interval {
 			closeInterval()
 		}
+		if opts.WarmupRetired > 0 && !warmed && s.res.Retired >= opts.WarmupRetired {
+			warmed = true
+			warmSnap = s.snap()
+			warmCycle = s.cycle
+		}
 
 		if s.res.Retired != lastRetired {
 			lastRetired = s.res.Retired
@@ -205,6 +222,20 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 		closeInterval() // final partial interval
 	}
 
+	if warmed {
+		cur := s.snap()
+		s.res.Measured = &MeasuredWindow{
+			WarmupCycles:    warmCycle,
+			WarmupRetired:   warmSnap.retired,
+			Cycles:          s.cycle - warmCycle,
+			Retired:         cur.retired - warmSnap.retired,
+			Mispredicted:    cur.mispredicted - warmSnap.mispredicted,
+			EarlyRecovered:  cur.earlyRecovered - warmSnap.earlyRecovered,
+			LateRecovered:   cur.lateRecovered - warmSnap.lateRecovered,
+			DecodeRedirects: cur.decodeRedirects - warmSnap.decodeRedirects,
+			Opt:             cur.opt.Sub(warmSnap.opt),
+		}
+	}
 	s.res.Truncated = truncated
 	s.res.Cycles = s.cycle
 	if s.cycle > 0 {

@@ -186,6 +186,91 @@ func TestIntervalTelemetrySumsToTotals(t *testing.T) {
 	}
 }
 
+// TestTruncatedRunEmitsFinalPartialInterval pins the truncation ×
+// telemetry interaction: a run stopped by MaxCycles mid-interval must
+// still close and emit the final partial interval, and the interval
+// series must sum to the truncated run's totals exactly.
+func TestTruncatedRunEmitsFinalPartialInterval(t *testing.T) {
+	const limit, interval = 2500, 1000 // limit deliberately not a multiple
+	var observed []pipeline.IntervalStats
+	res, err := newSession(t, "mcf", 1).Run(context.Background(), pipeline.RunOpts{
+		MaxCycles: limit,
+		Interval:  interval,
+		Observer:  func(iv pipeline.IntervalStats) { observed = append(observed, iv) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != pipeline.TruncMaxCycles {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, pipeline.TruncMaxCycles)
+	}
+	want := limit/interval + 1 // full intervals plus the partial tail
+	if len(res.Intervals) != want {
+		t.Fatalf("got %d intervals, want %d (final partial interval missing?)", len(res.Intervals), want)
+	}
+	if len(observed) != len(res.Intervals) {
+		t.Errorf("observer saw %d intervals, result holds %d", len(observed), len(res.Intervals))
+	}
+	last := res.Intervals[len(res.Intervals)-1]
+	if lw := uint64(limit % interval); last.Cycles != lw {
+		t.Errorf("final partial interval spans %d cycles, want %d", last.Cycles, lw)
+	}
+	if end := last.EndCycle(); end != res.Cycles {
+		t.Errorf("final interval ends at cycle %d, run stopped at %d", end, res.Cycles)
+	}
+	var sum pipeline.IntervalStats
+	for _, iv := range res.Intervals {
+		sum.Cycles += iv.Cycles
+		sum.Retired += iv.Retired
+		sum.Mispredicted += iv.Mispredicted
+		sum.EarlyRecovered += iv.EarlyRecovered
+		sum.LateRecovered += iv.LateRecovered
+		sum.DecodeRedirects += iv.DecodeRedirects
+		sum.Opt = sum.Opt.Add(iv.Opt)
+	}
+	if sum.Cycles != res.Cycles || sum.Retired != res.Retired {
+		t.Errorf("interval sums (%d cycles, %d retired) != truncated totals (%d, %d)",
+			sum.Cycles, sum.Retired, res.Cycles, res.Retired)
+	}
+	if sum.Mispredicted != res.Mispredicted || sum.Opt != res.Opt {
+		t.Errorf("interval event sums differ from truncated run totals")
+	}
+}
+
+// TestMaxRetiredTruncationEmitsFinalPartialInterval is the same law for
+// the retirement limit.
+func TestMaxRetiredTruncationEmitsFinalPartialInterval(t *testing.T) {
+	var observed []pipeline.IntervalStats
+	res, err := newSession(t, "untst", 1).Run(context.Background(), pipeline.RunOpts{
+		MaxRetired: 1500,
+		Interval:   512,
+		Observer:   func(iv pipeline.IntervalStats) { observed = append(observed, iv) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != pipeline.TruncMaxRetired {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, pipeline.TruncMaxRetired)
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no intervals emitted")
+	}
+	if last := res.Intervals[len(res.Intervals)-1]; last.EndCycle() != res.Cycles {
+		t.Errorf("final interval ends at %d, run stopped at %d", last.EndCycle(), res.Cycles)
+	}
+	var cycles, retired uint64
+	for _, iv := range res.Intervals {
+		cycles += iv.Cycles
+		retired += iv.Retired
+	}
+	if cycles != res.Cycles || retired != res.Retired {
+		t.Errorf("interval sums (%d, %d) != totals (%d, %d)", cycles, retired, res.Cycles, res.Retired)
+	}
+	if len(observed) != len(res.Intervals) {
+		t.Errorf("observer saw %d intervals, result holds %d", len(observed), len(res.Intervals))
+	}
+}
+
 // TestTelemetryDoesNotPerturbSimulation pins that observing a run leaves
 // every architectural and timing outcome identical.
 func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {

@@ -1,0 +1,611 @@
+// Package sample implements sampled simulation: instead of simulating
+// every cycle of a program in the detailed model, it fast-forwards
+// through the architectural emulator (internal/emu, the oracle) and
+// periodically drops into the cycle-level model (internal/pipeline) for
+// a short detailed window, then estimates whole-run performance from
+// the measured windows.
+//
+// The method is classic SMARTS-style systematic sampling: detailed
+// windows start every Period dynamic instructions; each window seeds a
+// fresh pipeline.Session from an architectural checkpoint
+// (emu.Machine.Snapshot → pipeline.NewFromCheckpoint), runs Warmup
+// instructions in full detail with statistics discarded (filling the
+// caches, branch predictor, and optimizer tables), then measures the
+// next Window instructions. Whole-run CPI is estimated as the
+// retirement-weighted mean CPI of the measured windows, whole-run
+// cycles as TotalInsts × CPI, and the spread of per-window CPIs yields
+// a 95% confidence interval on the estimate.
+//
+// Because the detailed model is trace-driven — it validates every
+// optimizer decision against the oracle's values — a checkpointed
+// session retires exactly the same instruction stream as a full run;
+// the only approximation is timing cold-start at window boundaries,
+// which Warmup bounds. Exact and sampled results are distinct
+// estimators of the same quantity and must never share a result cache
+// slot: exper keys sampled runs by Config.Key in addition to the
+// machine config.
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+)
+
+// Config sets the sampling regime. All units are dynamic instructions.
+// The zero value is replaced by DefaultConfig; individually zero Window
+// or TargetWindows fall back to their defaults (a zero Warmup in an
+// otherwise non-zero Config genuinely means "no warmup", and a zero
+// Period means auto-scaling).
+type Config struct {
+	// Period is the distance between consecutive detailed-window starts
+	// (each window sits at the midpoint of its period-long stratum).
+	// Zero means auto: the period is chosen per program as TotalInsts /
+	// TargetWindows, floored so detailed coverage stays near or below
+	// ~20% and capped so at least a handful of windows always fit —
+	// short programs get proportionally denser windows than long ones,
+	// which is what keeps the estimator accurate across scales.
+	Period uint64
+	// Warmup is the number of instructions each detailed window runs
+	// before measurement begins; their statistics are discarded.
+	Warmup uint64
+	// Window is the number of instructions measured per detailed window.
+	Window uint64
+	// TargetWindows is the window count auto-period aims for (ignored
+	// when Period > 0).
+	TargetWindows int
+	// MaxWindows caps how many detailed windows run (0 = every Period
+	// boundary until the program ends).
+	MaxWindows int
+	// ColdStart disables functional warming: between windows the
+	// emulator fast-forwards without training the caches and branch
+	// predictor, so every detailed window starts cold. Fast-forward is
+	// cheaper, but Warmup must then be large enough to refill those
+	// structures — with warming on (the default), a few hundred
+	// instructions of detailed warmup suffice.
+	ColdStart bool
+}
+
+// DefaultConfig is the sampling regime the CLI's -sample flag uses:
+// 500-instruction detailed windows (200 warmup + 300 measured) at an
+// auto-scaled period aiming for ~16 windows per program. Functional
+// warming (caches and branch predictor trained during fast-forward) is
+// what makes 200 instructions of detailed warmup sufficient.
+func DefaultConfig() Config {
+	return Config{Warmup: 200, Window: 300, TargetWindows: 16}
+}
+
+// Normalize fills defaults: the zero Config becomes DefaultConfig, and
+// a partially set Config gets the default Window (and, when Period is
+// auto, TargetWindows) where zero.
+func (c Config) Normalize() Config {
+	if c == (Config{}) {
+		return DefaultConfig()
+	}
+	d := DefaultConfig()
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.Period == 0 && c.TargetWindows == 0 {
+		c.TargetWindows = d.TargetWindows
+	}
+	return c
+}
+
+// Validate rejects regimes that cannot work: windows must measure
+// something, and consecutive fixed-period windows must not overlap (the
+// estimator assumes disjoint measured regions).
+func (c Config) Validate() error {
+	if c.Window == 0 {
+		return fmt.Errorf("sample: Window must be positive")
+	}
+	if c.Period > 0 && c.Period < c.Warmup+c.Window {
+		return fmt.Errorf("sample: Period %d shorter than Warmup %d + Window %d (windows would overlap)",
+			c.Period, c.Warmup, c.Window)
+	}
+	if c.Period == 0 && c.TargetWindows <= 0 {
+		return fmt.Errorf("sample: auto period needs TargetWindows > 0")
+	}
+	if c.MaxWindows < 0 {
+		return fmt.Errorf("sample: MaxWindows %d must be non-negative", c.MaxWindows)
+	}
+	return nil
+}
+
+// minSpacing floors the auto period at minSpacing × (Warmup + Window),
+// capping detailed coverage near 1/minSpacing.
+const minSpacing = 5
+
+// warmStretchFactor bounds functional warming: when the gap to the next
+// window exceeds warmStretchFactor × (Warmup + Window), only that many
+// trailing instructions are observed and the rest fast-forward raw. The
+// stretch covers the history the window-start state actually depends on
+// (predictor history, hot cache lines) at a fraction of full-warming
+// cost on long gaps.
+const warmStretchFactor = 6
+
+// shortRunFactor: a program shorter than shortRunFactor × (Warmup +
+// Window) is simulated exactly instead of sampled — sampling a run
+// that a handful of detailed windows would cover anyway only adds
+// estimation error on top of comparable cost.
+const shortRunFactor = 10
+
+// minWindowCount is the fewest windows auto-period accepts: below ~5
+// samples the estimate degenerates to whichever phases the windows
+// happen to hit. Short programs get a denser-than-minSpacing period to
+// reach it — they are cheap, so the extra coverage costs little.
+const minWindowCount = 5
+
+// periodFor resolves the sampling period for a program of totalInsts
+// dynamic instructions (0 = too short, use the exact fallback).
+func (c Config) periodFor(totalInsts uint64) uint64 {
+	detail := c.Warmup + c.Window
+	if totalInsts < shortRunFactor*detail {
+		return 0
+	}
+	if c.Period > 0 {
+		return c.Period
+	}
+	p := totalInsts / uint64(c.TargetWindows)
+	if min := minSpacing * detail; p < min {
+		p = min
+	}
+	if max := totalInsts / minWindowCount; p > max {
+		p = max
+	}
+	if p < detail {
+		p = detail
+	}
+	return p
+}
+
+// Key returns a canonical string identifying the sampling regime, used
+// (together with the machine config key) to key sampled-result caches
+// so exact and sampled results never collide.
+func (c Config) Key() string {
+	cold := ""
+	if c.ColdStart {
+		cold = ".cold"
+	}
+	return fmt.Sprintf("p%d.t%d.w%d.m%d.x%d%s", c.Period, c.TargetWindows, c.Warmup, c.Window, c.MaxWindows, cold)
+}
+
+// Window is one measured detailed window.
+type Window struct {
+	// Index is the window's position in the run, from 0.
+	Index int
+	// StartInst is the dynamic instruction the detailed session was
+	// seeded at (the checkpoint position; warmup begins here).
+	StartInst uint64
+	// WarmupCycles and WarmupRetired cover the discarded warmup region.
+	WarmupCycles  uint64
+	WarmupRetired uint64
+	// Cycles and Retired are the measured region's extent.
+	Cycles  uint64
+	Retired uint64
+	// Branch events of the measured region (see pipeline.Result).
+	Mispredicted    uint64
+	EarlyRecovered  uint64
+	LateRecovered   uint64
+	DecodeRedirects uint64
+	// Opt holds the optimizer events of the measured region.
+	Opt core.Stats
+}
+
+// CPI returns the window's measured cycles per instruction.
+func (w Window) CPI() float64 {
+	if w.Retired == 0 {
+		return 0
+	}
+	return float64(w.Cycles) / float64(w.Retired)
+}
+
+// IPC returns the window's measured instructions per cycle.
+func (w Window) IPC() float64 {
+	if w.Cycles == 0 {
+		return 0
+	}
+	return float64(w.Retired) / float64(w.Cycles)
+}
+
+// Result is a sampled-simulation estimate of one (machine, program)
+// run: the per-window measurements plus the derived whole-run estimate
+// and its confidence interval.
+type Result struct {
+	// Machine, Program, ConfigKey, Scale identify the run like a
+	// pipeline.Result; Sampling records the regime that produced it.
+	Machine   string
+	Program   string
+	ConfigKey string
+	Scale     int
+	Sampling  Config
+
+	// TotalInsts is the program's exact dynamic instruction count,
+	// observed by the functional fast-forward crossing the whole run.
+	TotalInsts uint64
+
+	// Period is the resolved sampling period — Sampling.Period, or the
+	// auto-scaled value when that was zero (0 when the exact fallback
+	// ran and no sampling happened).
+	Period uint64
+
+	// Windows holds every measured detailed window in order.
+	Windows []Window
+
+	// MeasuredCycles and MeasuredRetired sum the measured regions.
+	MeasuredCycles  uint64
+	MeasuredRetired uint64
+
+	// EstCycles is the whole-run cycle estimate: TotalInsts × CPI where
+	// CPI = MeasuredCycles / MeasuredRetired (the retirement-weighted
+	// mean of the window CPIs).
+	EstCycles uint64
+
+	// CIHalfWidth is the half-width of the 95% confidence interval on
+	// the mean window CPI (0 when fewer than two windows measured), and
+	// RelCI the same as a fraction of the mean CPI.
+	CIHalfWidth float64
+	RelCI       float64
+
+	// ExactFallback marks a program too short to sample (it ended
+	// inside the first window's warmup): the "estimate" is then a full
+	// detailed run and is exact.
+	ExactFallback bool
+}
+
+// EstIPC returns the estimated whole-run IPC.
+func (r *Result) EstIPC() float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	return float64(r.MeasuredRetired) / float64(r.MeasuredCycles)
+}
+
+// DetailedInsts returns how many instructions ran through the detailed
+// model (warmup + measured), the cost side of the sampling trade.
+func (r *Result) DetailedInsts() uint64 {
+	var n uint64
+	for _, w := range r.Windows {
+		n += w.WarmupRetired + w.Retired
+	}
+	return n
+}
+
+// Coverage returns the fraction of the program simulated in detail.
+func (r *Result) Coverage() float64 {
+	if r.TotalInsts == 0 {
+		return 0
+	}
+	return float64(r.DetailedInsts()) / float64(r.TotalInsts)
+}
+
+// SpeedupOver returns base.EstCycles / r.EstCycles — the sampled analog
+// of pipeline.Result.SpeedupOver.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.EstCycles == 0 {
+		return 0
+	}
+	return float64(base.EstCycles) / float64(r.EstCycles)
+}
+
+// String summarizes the estimate.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %d insts, ~%d cycles (est, %d windows, ±%.1f%% CI), IPC %.3f",
+		r.Program, r.Machine, r.TotalInsts, r.EstCycles, len(r.Windows), 100*r.RelCI, r.EstIPC())
+}
+
+// Estimate renders the sampled result as a whole-run pipeline.Result
+// with Sampled set: Cycles is the estimate, Retired the exact total
+// instruction count, and the event counters are the window sums
+// extrapolated by TotalInsts / MeasuredRetired — a uniform factor, so
+// every derived ratio (Table 3's percentages, misprediction rates) is
+// preserved from the measured windows. This is what lets the harness
+// artifacts format sampled runs exactly like exact ones.
+func (r *Result) Estimate() *pipeline.Result {
+	est := &pipeline.Result{
+		Machine:   r.Machine,
+		Program:   r.Program,
+		ConfigKey: r.ConfigKey,
+		Scale:     r.Scale,
+		Sampled:   true,
+		Cycles:    r.EstCycles,
+		Retired:   r.TotalInsts,
+	}
+	if r.MeasuredRetired == 0 {
+		return est
+	}
+	var mis, early, late, dec uint64
+	var opt core.Stats
+	for _, w := range r.Windows {
+		mis += w.Mispredicted
+		early += w.EarlyRecovered
+		late += w.LateRecovered
+		dec += w.DecodeRedirects
+		opt = opt.Add(w.Opt)
+	}
+	f := float64(r.TotalInsts) / float64(r.MeasuredRetired)
+	scale := func(v uint64) uint64 { return uint64(math.Round(float64(v) * f)) }
+	est.Mispredicted = scale(mis)
+	est.EarlyRecovered = scale(early)
+	est.LateRecovered = scale(late)
+	est.DecodeRedirects = scale(dec)
+	est.Opt = opt.Scale(f)
+	return est
+}
+
+// finalize derives the whole-run estimate from the collected windows.
+func (r *Result) finalize() {
+	for _, w := range r.Windows {
+		r.MeasuredCycles += w.Cycles
+		r.MeasuredRetired += w.Retired
+	}
+	if r.MeasuredRetired == 0 {
+		return
+	}
+	cpi := float64(r.MeasuredCycles) / float64(r.MeasuredRetired)
+	r.EstCycles = uint64(math.Round(float64(r.TotalInsts) * cpi))
+	if n := len(r.Windows); n >= 2 {
+		mean := 0.0
+		for _, w := range r.Windows {
+			mean += w.CPI()
+		}
+		mean /= float64(n)
+		varsum := 0.0
+		for _, w := range r.Windows {
+			d := w.CPI() - mean
+			varsum += d * d
+		}
+		sd := math.Sqrt(varsum / float64(n-1))
+		r.CIHalfWidth = 1.96 * sd / math.Sqrt(float64(n))
+		if mean > 0 {
+			r.RelCI = r.CIHalfWidth / mean
+		}
+	}
+}
+
+// emuChunk bounds instructions between context checks while
+// fast-forwarding.
+const emuChunk = 1 << 20
+
+// forward advances the emulator to dynamic instruction target (or HALT,
+// whichever comes first), checking ctx between chunks. A non-nil warmer
+// observes every instruction (functional warming); nil fast-forwards
+// through the emulator's allocation-free raw loop.
+func forward(ctx context.Context, m *emu.Machine, target uint64, w *pipeline.Warmer) error {
+	for !m.Halted() && m.InstCount() < target {
+		n := target - m.InstCount()
+		if n > emuChunk {
+			n = emuChunk
+		}
+		if w != nil {
+			m.RunObserved(n, w.Observe)
+		} else {
+			m.Run(n)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes prog under cfg with sampling regime sc and returns the
+// whole-run estimate. Canceling ctx aborts promptly with an error
+// wrapping ctx.Err(). Sampled runs are fully deterministic: the same
+// (cfg, prog, sc) always yields an identical Result.
+func Run(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config) (*Result, error) {
+	// Pre-pass: one raw (allocation-free) emulation establishes the
+	// exact dynamic instruction count, which auto-period scales against
+	// and the estimator extrapolates to. Callers that already know the
+	// count (the experiment engine memoizes it) use RunTotal instead.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pre := emu.New(prog)
+	if err := forward(ctx, pre, math.MaxUint64, nil); err != nil {
+		return nil, err
+	}
+	return RunTotal(ctx, cfg, prog, sc, pre.InstCount())
+}
+
+// RunTotal is Run for callers that already know prog's dynamic
+// instruction count (it must be exact — the estimator extrapolates to
+// it and schedules windows against it), skipping Run's counting
+// pre-pass. The experiment engine feeds it the memoized InstCount, so
+// the count is established once per (benchmark, scale) no matter how
+// many machine configurations sample it.
+func RunTotal(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config, totalInsts uint64) (*Result, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if totalInsts == 0 {
+		return nil, fmt.Errorf("sample: totalInsts must be positive")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	res := &Result{
+		Machine:    cfg.Name,
+		Program:    prog.Name,
+		ConfigKey:  cfg.Key(),
+		Sampling:   sc,
+		TotalInsts: totalInsts,
+	}
+
+	period := sc.periodFor(totalInsts)
+	if period == 0 {
+		// Too short to sample profitably: one exact detailed run,
+		// recorded as a single all-measured window.
+		if err := res.exactFallback(ctx, cfg, prog); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	res.Period = period
+	m := emu.New(prog)
+	var warmer *pipeline.Warmer
+	if !sc.ColdStart {
+		warmer = pipeline.NewWarmer(cfg)
+	}
+	detail := sc.Warmup + sc.Window
+	stretch := warmStretchFactor * detail
+
+	// advance fast-forwards the emulator to the target instruction,
+	// observing (at most) the trailing warm-stretch into the warmer and
+	// skipping the rest raw.
+	advance := func(target uint64) error {
+		from := m.InstCount()
+		if warmer == nil || target-from <= stretch {
+			return forward(ctx, m, target, warmer)
+		}
+		if err := forward(ctx, m, target-stretch, nil); err != nil {
+			return err
+		}
+		return forward(ctx, m, target, warmer)
+	}
+
+	// One window per period-length stratum, centered: the detailed
+	// region sits at the stratum midpoint rather than its left edge, so
+	// each measurement represents its stratum's average behavior rather
+	// than over-weighting the boundary (the left-edge window of the
+	// first stratum would measure the program's coldest startup
+	// instructions and bias the whole estimate). A window whose full
+	// warmup+measure extent would run past the program end is dropped
+	// (its truncated measurement would be drain-biased), and emulation
+	// stops at the last window — instructions past it are never needed.
+	for start := (period - detail) / 2; start+detail <= totalInsts; start += period {
+		if sc.MaxWindows > 0 && len(res.Windows) >= sc.MaxWindows {
+			break
+		}
+		if err := advance(start); err != nil {
+			return nil, err
+		}
+		if m.Halted() {
+			break // totalInsts overstated; drop the unreachable windows
+		}
+		ck := m.Snapshot()
+		var (
+			s   *pipeline.Session
+			err error
+		)
+		if warmer != nil {
+			// The session borrows the warmer's structures: it trains
+			// them exactly as a continuous detailed run would, and the
+			// raw skip below keeps the emulator from re-observing the
+			// window's own instructions.
+			s, err = pipeline.NewFromCheckpointWarmed(cfg, prog, ck, warmer.Borrow())
+		} else {
+			s, err = pipeline.NewFromCheckpoint(cfg, prog, ck)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run(ctx, pipeline.RunOpts{
+			MaxRetired:    detail,
+			WarmupRetired: sc.Warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if w, ok := windowOf(r, ck.InstCount, sc); ok {
+			w.Index = len(res.Windows)
+			res.Windows = append(res.Windows, w)
+		}
+		if warmer != nil {
+			// Skip past the instructions the borrowing session already
+			// trained the warm structures on.
+			skipTo := start + detail
+			if skipTo > totalInsts {
+				skipTo = totalInsts
+			}
+			if err := forward(ctx, m, skipTo, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(res.Windows) == 0 {
+		// Defensive: periodFor guarantees at least one window fits, but
+		// an overstated totalInsts could defeat it; fall back to exact.
+		res.Period = 0
+		if err := res.exactFallback(ctx, cfg, prog); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	res.finalize()
+	return res, nil
+}
+
+// exactFallback fills res with one exact detailed run of the whole
+// program, recorded as a single all-measured window, and finalizes it.
+func (r *Result) exactFallback(ctx context.Context, cfg pipeline.Config, prog *emu.Program) error {
+	s, err := pipeline.New(cfg, prog)
+	if err != nil {
+		return err
+	}
+	er, err := s.Run(ctx, pipeline.RunOpts{})
+	if err != nil {
+		return err
+	}
+	r.ExactFallback = true
+	r.Windows = append(r.Windows, Window{
+		Cycles:          er.Cycles,
+		Retired:         er.Retired,
+		Mispredicted:    er.Mispredicted,
+		EarlyRecovered:  er.EarlyRecovered,
+		LateRecovered:   er.LateRecovered,
+		DecodeRedirects: er.DecodeRedirects,
+		Opt:             er.Opt,
+	})
+	r.finalize()
+	return nil
+}
+
+// windowOf extracts the measured window from one detailed run: the
+// post-warmup region when warmup was requested (nil Measured means the
+// program ended during warmup — no usable window), or the whole
+// truncated run when the regime has no warmup.
+func windowOf(r *pipeline.Result, start uint64, sc Config) (Window, bool) {
+	if sc.Warmup == 0 {
+		if r.Retired == 0 {
+			return Window{}, false
+		}
+		return Window{
+			StartInst:       start,
+			Cycles:          r.Cycles,
+			Retired:         r.Retired,
+			Mispredicted:    r.Mispredicted,
+			EarlyRecovered:  r.EarlyRecovered,
+			LateRecovered:   r.LateRecovered,
+			DecodeRedirects: r.DecodeRedirects,
+			Opt:             r.Opt,
+		}, true
+	}
+	mw := r.Measured
+	if mw == nil || mw.Retired == 0 {
+		return Window{}, false
+	}
+	return Window{
+		StartInst:       start,
+		WarmupCycles:    mw.WarmupCycles,
+		WarmupRetired:   mw.WarmupRetired,
+		Cycles:          mw.Cycles,
+		Retired:         mw.Retired,
+		Mispredicted:    mw.Mispredicted,
+		EarlyRecovered:  mw.EarlyRecovered,
+		LateRecovered:   mw.LateRecovered,
+		DecodeRedirects: mw.DecodeRedirects,
+		Opt:             mw.Opt,
+	}, true
+}

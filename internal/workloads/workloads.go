@@ -14,9 +14,10 @@
 package workloads
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/asm"
@@ -136,21 +137,26 @@ func (r *rng) next() uint64 {
 	return x
 }
 
-// quads emits n .quad words drawn from gen.
+// quads emits n .quad words drawn from gen. It builds through a
+// strings.Builder: the data tables run to tens of thousands of words at
+// large scales, where naive concatenation is quadratic and used to
+// dominate workload assembly time.
 func quads(n int, gen func(i int) uint64) string {
-	s := ""
+	var s strings.Builder
+	s.Grow(n * 8)
 	for i := 0; i < n; i++ {
 		if i%8 == 0 {
 			if i > 0 {
-				s += "\n"
+				s.WriteByte('\n')
 			}
-			s += ".quad "
+			s.WriteString(".quad ")
 		} else {
-			s += ", "
+			s.WriteString(", ")
 		}
-		s += fmt.Sprintf("%d", gen(i))
+		s.WriteString(strconv.FormatUint(gen(i), 10))
 	}
-	return s + "\n"
+	s.WriteByte('\n')
+	return s.String()
 }
 
 // randQuads emits n pseudo-random .quad words in [0, mod).
