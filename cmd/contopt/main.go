@@ -12,6 +12,7 @@
 //	contopt ablations                 MBC sweep + policy toggles (beyond paper)
 //	contopt sweep <spec.json>         run a user-defined sweep spec
 //	contopt sample-check [bench ...]  validate the sampled estimator vs exact
+//	contopt store <ls|stat|gc|verify> inspect/maintain the persistent store
 //	contopt all                       everything above
 //
 // Every experiment runs on one shared exper engine, so a single "all"
@@ -38,10 +39,21 @@
 // covers exact simulations only — sampled detailed windows are far
 // shorter than one telemetry interval.
 //
+// Persistent store: -store DIR (or the CONTOPT_STORE environment
+// variable) backs the engine with the on-disk result store
+// (internal/store). Finished simulations survive process exit, so a
+// rerun of any command — including a sweep or "all" interrupted by
+// Ctrl-C — reloads completed cells instead of resimulating them; a
+// fully warm rerun performs zero simulations and produces byte-
+// identical output. "contopt store -store DIR ls|stat|gc|verify"
+// inspects and maintains the store; -v distinguishes memory hits,
+// store hits, and misses so warm runs are observable.
+//
 // Flags:
 //
 //	-scale N          override benchmark iteration scale (0 = default)
 //	-parallel N       concurrent simulations (0 = GOMAXPROCS)
+//	-store DIR        persistent result store directory (env CONTOPT_STORE)
 //	-timeout D        abort the whole command after duration D (0 = none)
 //	-progress         stream per-interval simulation progress to stderr
 //	-v                verbose: engine cache statistics; instruction counts on list
@@ -61,6 +73,7 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/emu"
@@ -68,6 +81,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -91,6 +105,7 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("contopt", flag.ContinueOnError)
 	scale := fs.Int("scale", 0, "benchmark iteration scale (0 = default)")
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	storeDir := fs.String("store", os.Getenv("CONTOPT_STORE"), "persistent result store directory (default $CONTOPT_STORE; empty = none)")
 	timeout := fs.Duration("timeout", 0, "abort the whole command after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-interval simulation progress to stderr")
 	verbose := fs.Bool("v", false, "verbose: engine cache statistics; instruction counts on list")
@@ -136,9 +151,26 @@ func run(ctx context.Context, args []string) error {
 		sampleCfg = &sc
 	}
 
+	// The store subcommand maintains the store directly; it does not
+	// simulate, so it bypasses the engine setup below.
+	if cmd == "store" {
+		return storeCmd(os.Stdout, *storeDir, fs.Args())
+	}
+
 	// One engine per process: every artifact below shares its memoized
 	// results, so e.g. "all" simulates the 22-benchmark baseline once.
+	// With -store the cache is also layered over the persistent store:
+	// results computed by earlier invocations are read back instead of
+	// resimulated, and everything computed here is persisted for later
+	// ones.
 	engine := exper.NewRunner(*parallel)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		engine.SetStore(st)
+	}
 	if *progress {
 		engine.SetProgressInterval(progressInterval)
 		engine.Observe(func(p exper.Progress) {
@@ -149,7 +181,8 @@ func run(ctx context.Context, args []string) error {
 	if *verbose {
 		defer func() {
 			st := engine.Stats()
-			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d cache hits\n", st.Simulations, st.Hits)
+			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memory hits, %d store hits\n",
+				st.Simulations, st.MemHits, st.StoreHits)
 		}()
 	}
 	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine, Sample: sampleCfg}
@@ -332,6 +365,87 @@ func runOne(ctx context.Context, out *os.File, engine *exper.Runner, name string
 	return nil
 }
 
+// storeCmd implements "contopt store -store DIR {ls|stat|gc|verify}":
+// index, summarize, garbage-collect, and integrity-check the
+// persistent result store without running any simulation.
+func storeCmd(out *os.File, dir string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: contopt store -store DIR {ls|stat|gc|verify}")
+	}
+	if dir == "" {
+		return fmt.Errorf("store: no directory; pass -store DIR or set CONTOPT_STORE")
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	switch args[0] {
+	case "ls":
+		entries, err := st.List()
+		if err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "kind\tbenchmark\tscale\tconfig\tregime\tbytes\tstatus")
+		for _, e := range entries {
+			if e.Err != nil {
+				fmt.Fprintf(tw, "?\t?\t?\t?\t?\t%d\tcorrupt: %v\n", e.Size, e.Err)
+				continue
+			}
+			k := e.Key
+			cfg, regime := k.ConfigKey, k.Sampling
+			if cfg == "" {
+				cfg = "-"
+			}
+			if regime == "" {
+				regime = "-"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%d\tok\n", k.Kind, k.Benchmark, k.Scale, cfg, regime, e.Size)
+		}
+		return tw.Flush()
+	case "stat":
+		info, err := st.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d entries (%d exact, %d sampled, %d counts), %d bytes\n",
+			dir, info.Entries, info.ByKind[store.KindExact], info.ByKind[store.KindSampled],
+			info.ByKind[store.KindCount], info.Bytes)
+		if info.Corrupt > 0 || info.TempFiles > 0 {
+			fmt.Fprintf(out, "debris: %d corrupt entries, %d temp files (run 'contopt store gc')\n",
+				info.Corrupt, info.TempFiles)
+		}
+		return nil
+	case "gc":
+		rep, err := st.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "removed %d corrupt entries and %d temp files (%d bytes); %d intact entries kept\n",
+			rep.RemovedCorrupt, rep.RemovedTemp, rep.ReclaimedBytes, rep.RemainingIntact)
+		return nil
+	case "verify":
+		entries, err := st.List()
+		if err != nil {
+			return err
+		}
+		corrupt := 0
+		for _, e := range entries {
+			if e.Err != nil {
+				corrupt++
+				fmt.Fprintf(out, "corrupt: %s: %v\n", e.Path, e.Err)
+			}
+		}
+		fmt.Fprintf(out, "%d entries verified, %d corrupt\n", len(entries)-corrupt, corrupt)
+		if corrupt > 0 {
+			return fmt.Errorf("store: %d corrupt entries (run 'contopt store gc' to remove them)", corrupt)
+		}
+		return nil
+	default:
+		return fmt.Errorf("store: unknown action %q (want ls, stat, gc or verify)", args[0])
+	}
+}
+
 // verify runs every benchmark through the emulator and both machine
 // models, checking that each retires exactly the oracle instruction
 // count with no leaked physical registers. The optimizer's internal
@@ -394,14 +508,21 @@ commands:
   verify      check both machines against the oracle on all benchmarks
   sample-check [bench ...]
               validate the sampled estimator against exact runs
+  store <ls|stat|gc|verify>
+              index, summarize, clean, or integrity-check the -store DIR
   all         run every experiment (shared result cache across artifacts)
 
-flags: -scale N, -parallel N, -timeout D, -progress, -v,
+flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
        -tolerance PCT and -check-ipc (sample-check)
 
 -sample applies to run, sweep and every artifact command: simulation
 fast-forwards through the functional emulator and only short periodic
 windows run in the detailed model, trading a bounded, reported error
-for a large speedup at scale.`)
+for a large speedup at scale.
+
+-store DIR (or CONTOPT_STORE) persists every finished simulation to a
+content-addressed on-disk store shared across invocations: interrupted
+sweeps resume where they stopped, and a fully warm rerun performs zero
+simulations (verify with -v: "0 simulations, ... store hits").`)
 }

@@ -262,3 +262,128 @@ func TestBadSampleRegimeRejected(t *testing.T) {
 		t.Error("expected error for overlapping sample windows")
 	}
 }
+
+// captureAll redirects both stdout and stderr around fn, returning them
+// separately — the store tests read cache statistics off stderr.
+func captureAll(t *testing.T, fn func() error) (stdout, stderr string) {
+	t.Helper()
+	var serr string
+	sout := capture(t, func() error {
+		oldErr := os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stderr = w
+		done := make(chan string)
+		go func() {
+			buf := make([]byte, 0, 1<<16)
+			tmp := make([]byte, 4096)
+			for {
+				n, err := r.Read(tmp)
+				buf = append(buf, tmp[:n]...)
+				if err != nil {
+					break
+				}
+			}
+			done <- string(buf)
+		}()
+		ferr := fn()
+		w.Close()
+		os.Stderr = oldErr
+		serr = <-done
+		return ferr
+	})
+	return sout, serr
+}
+
+func TestStoreFlagWarmRerun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	spec := `{"benchmarks": ["tst"], "per_benchmark": true, "variants": [{"label": "opt"}]}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"sweep", "-scale", "1", "-store", dir, "-v", path}
+
+	cold, coldErr := captureAll(t, func() error { return run(context.Background(), args) })
+	warm, warmErr := captureAll(t, func() error { return run(context.Background(), args) })
+
+	if cold != warm {
+		t.Errorf("warm rerun output differs from cold run:\n--- cold\n%s--- warm\n%s", cold, warm)
+	}
+	if !strings.Contains(coldErr, "engine: 2 simulations") {
+		t.Errorf("cold -v stats missing simulations:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, "engine: 0 simulations") || !strings.Contains(warmErr, "2 store hits") {
+		t.Errorf("warm -v stats should show zero simulations and store hits:\n%s", warmErr)
+	}
+}
+
+func TestStoreEnvVar(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	t.Setenv("CONTOPT_STORE", dir)
+	capture(t, func() error { return run(context.Background(), []string{"run", "-scale", "1", "tst"}) })
+	out := capture(t, func() error { return run(context.Background(), []string{"store", "stat"}) })
+	if !strings.Contains(out, "2 exact") {
+		t.Errorf("CONTOPT_STORE run did not populate the store:\n%s", out)
+	}
+}
+
+func TestStoreSubcommand(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	capture(t, func() error { return run(context.Background(), []string{"run", "-scale", "1", "-store", dir, "tst"}) })
+
+	ls := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "ls"}) })
+	for _, want := range []string{"exact", "tst", "ok"} {
+		if !strings.Contains(ls, want) {
+			t.Errorf("store ls missing %q:\n%s", want, ls)
+		}
+	}
+	stat := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "stat"}) })
+	if !strings.Contains(stat, "2 entries") || !strings.Contains(stat, "2 exact") {
+		t.Errorf("store stat: %s", stat)
+	}
+	vout := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "verify"}) })
+	if !strings.Contains(vout, "2 entries verified, 0 corrupt") {
+		t.Errorf("store verify: %s", vout)
+	}
+
+	// Corrupt one entry: verify must fail, gc must clean it up.
+	var entry string
+	filepath.WalkDir(filepath.Join(dir, "entries"), func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && entry == "" {
+			entry = p
+		}
+		return nil
+	})
+	if entry == "" {
+		t.Fatal("no entry files found")
+	}
+	if err := os.WriteFile(entry, []byte("scribble"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"store", "-store", dir, "verify"}); err == nil {
+		t.Error("verify accepted a corrupt entry")
+	}
+	gc := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "gc"}) })
+	if !strings.Contains(gc, "removed 1 corrupt") {
+		t.Errorf("store gc: %s", gc)
+	}
+	if err := run(context.Background(), []string{"store", "-store", dir, "verify"}); err != nil {
+		t.Errorf("verify after gc: %v", err)
+	}
+}
+
+func TestStoreSubcommandErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"store", "ls"}); err == nil {
+		t.Error("store without a directory should fail")
+	}
+	dir := t.TempDir()
+	if err := run(context.Background(), []string{"store", "-store", dir, "frobnicate"}); err == nil {
+		t.Error("unknown store action should fail")
+	}
+	if err := run(context.Background(), []string{"store", "-store", dir}); err == nil {
+		t.Error("store without an action should fail")
+	}
+}

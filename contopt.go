@@ -25,6 +25,10 @@
 //     estimating whole-run IPC within a reported confidence interval at
 //     a fraction of the cost of an exact run — see SampleConfig for the
 //     regime and SampleResult for the estimate
+//   - the persistent result store (OpenStore, Engine.SetStore): a
+//     content-addressed on-disk cache layered below the engine's
+//     in-memory one, so results survive process exit, sweeps resume
+//     after interruption, and warm reruns perform zero simulations
 //
 // Quick start:
 //
@@ -50,6 +54,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -164,6 +169,30 @@ func BaselineConfig() Config { return pipeline.DefaultConfig().Baseline() }
 // NewEngine builds an experiment engine whose worker pool admits at
 // most parallelism concurrent simulations (0 = GOMAXPROCS).
 func NewEngine(parallelism int) *Engine { return exper.NewRunner(parallelism) }
+
+// Store is the persistent, content-addressed result store: simulation
+// results keyed by machine-config content hash, benchmark, scale and
+// (for sampled estimates) sampling regime, durable across processes.
+// Attach one to an engine with Engine.SetStore — cache misses then
+// read through to disk and fresh results are persisted, which is what
+// makes interrupted sweeps resumable and warm reruns simulation-free.
+// See internal/store for the on-disk format and corruption semantics.
+type Store = store.Store
+
+// StoreEntry describes one stored entry, as returned by Store.List.
+type StoreEntry = store.Entry
+
+// StoreInfo is an aggregate snapshot of a store, from Store.Stat.
+type StoreInfo = store.Info
+
+// OpenStore opens (creating if necessary) the persistent result store
+// rooted at dir. A Store is safe for concurrent use by multiple
+// goroutines and multiple processes sharing the directory.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// EngineStats reports an engine's cache effectiveness: simulations
+// executed (misses), in-memory cache hits, and persistent-store hits.
+type EngineStats = exper.Stats
 
 // LoadSweepSpec reads and validates a JSON sweep spec file.
 func LoadSweepSpec(path string) (*SweepSpec, error) { return exper.LoadSpec(path) }

@@ -1,0 +1,76 @@
+package exper_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/exper"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// ExampleRunner_Sweep runs a small declarative sweep: one benchmark,
+// one variant measured against the default reference (the baseline
+// machine), every cell memoized in the engine's cache.
+func ExampleRunner_Sweep() {
+	spec := &exper.SweepSpec{
+		Title:      "demo",
+		Benchmarks: []string{"tst"},
+		Scale:      1,
+		Variants:   []exper.VariantSpec{{Label: "opt"}},
+	}
+	engine := exper.NewRunner(0)
+	sr, err := engine.Sweep(context.Background(), spec)
+	if err != nil {
+		fmt.Println("sweep failed:", err)
+		return
+	}
+	st := engine.Stats()
+	fmt.Printf("%d benchmark x %d variant: %d simulations, optimized is faster: %v\n",
+		len(sr.Benches), len(sr.Spec.Variants), st.Simulations, sr.Speedup(0, 0) > 1)
+	// Output:
+	// 1 benchmark x 1 variant: 2 simulations, optimized is faster: true
+}
+
+// ExampleRunner_SetStore layers a persistent result store under the
+// engine's in-memory cache: a second engine sharing the same store
+// directory — here standing in for a later process — answers the same
+// request from disk without simulating at all.
+func ExampleRunner_SetStore() {
+	dir, err := os.MkdirTemp("", "contopt-store-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bench, _ := workloads.ByName("tst")
+	ctx := context.Background()
+
+	cold := exper.NewRunner(0)
+	cold.SetStore(st)
+	if _, err := cold.Run(ctx, pipeline.DefaultConfig(), bench, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	cs := cold.Stats()
+	fmt.Printf("cold: %d simulations, %d store hits\n", cs.Simulations, cs.StoreHits)
+
+	warm := exper.NewRunner(0)
+	warm.SetStore(st)
+	if _, err := warm.Run(ctx, pipeline.DefaultConfig(), bench, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	ws := warm.Stats()
+	fmt.Printf("warm: %d simulations, %d store hits\n", ws.Simulations, ws.StoreHits)
+	// Output:
+	// cold: 1 simulations, 0 store hits
+	// warm: 0 simulations, 1 store hits
+}

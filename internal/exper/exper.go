@@ -1,50 +1,9 @@
-// Package exper is the experiment engine: it executes (machine config,
-// benchmark, scale) simulations through a bounded worker pool and
-// memoizes every result, so a process that renders many paper artifacts
-// simulates each unique triple exactly once no matter how many tables
-// and figures request it.
-//
-// The cache is keyed by (Config.Key(), benchmark name, effective scale).
-// Config.Key is a content hash that ignores the display Name, so two
-// experiments that describe the same machine under different labels
-// share one simulation; the cached Result carries the Machine name of
-// whichever request ran it first. Concurrent requests for the same key
-// are collapsed singleflight-style: the first caller simulates, later
-// callers block and receive the same *pipeline.Result. Because the
-// simulator is deterministic, memoization also makes sweep output
-// independent of the pool's parallelism.
-//
-// Every entry point takes a context.Context and returns an error:
-// canceling the context aborts in-flight simulations promptly. The
-// collapse is cancellation-safe — when the caller that is executing a
-// simulation (the leader) is canceled, the work is not poisoned:
-// waiting callers observe the abandoned slot and one of them re-runs
-// the simulation under its own context.
-//
-// Observe registers engine-level progress observers: each running
-// simulation then reports interval telemetry (pipeline.IntervalStats
-// tagged with the run's identity) as it crosses interval boundaries,
-// which is how long sweeps become watchable.
-//
-// RunSampled/SampledMatrix/SweepSampled are the sampled-simulation
-// mode: cells become statistical estimates from periodic detailed
-// windows (internal/sample) instead of exact runs. Sampled results are
-// memoized in their own cache, keyed additionally by the sampling
-// regime, so an exact result and a sampled estimate of the same triple
-// can never collide. Engine-level progress observers apply to exact
-// simulations only: a sampled run's detailed windows are hundreds of
-// instructions each — orders of magnitude shorter than a telemetry
-// interval — so no interval would ever close inside one.
-//
-// On top of the Runner, SweepSpec (spec.go) describes a whole experiment
-// declaratively — a benchmark filter, a reference machine, and a list of
-// labeled config variants — and can be loaded from JSON, which is how
-// the contopt "sweep" subcommand lets users author new experiments
-// without writing Go.
 package exper
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"runtime"
 	"sync"
@@ -53,6 +12,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -84,8 +44,14 @@ type Runner struct {
 	observers     []func(Progress)
 	progressEvery uint64
 
-	hits atomic.Uint64
-	runs atomic.Uint64
+	store atomic.Pointer[store.Store]
+
+	wmu   sync.Mutex
+	wkeys map[countKey]string
+
+	memHits   atomic.Uint64
+	storeHits atomic.Uint64
+	runs      atomic.Uint64
 }
 
 type simKey struct {
@@ -185,23 +151,47 @@ func NewRunner(parallelism int) *Runner {
 		sims:          map[simKey]*flight[*pipeline.Result]{},
 		sampled:       map[sampleKey]*flight[*sample.Result]{},
 		counts:        map[countKey]*flight[uint64]{},
+		wkeys:         map[countKey]string{},
 		progressEvery: DefaultProgressInterval,
 	}
 }
 
-// Stats reports cache effectiveness: Simulations is the number of
+// SetStore attaches a persistent result store below the in-memory
+// cache: every cache miss first consults the store (read-through), and
+// every freshly computed result is persisted before its waiters are
+// released (write-behind the memory layer), making results durable
+// across processes and sweeps resumable after a crash or Ctrl-C. The
+// store sees exactly the engine's cache keys — exact results, sampled
+// estimates (regime-keyed) and instruction counts live in disjoint
+// namespaces — and any store read error, including a corrupt entry, is
+// treated as a miss and resimulated, never surfaced. Persistence
+// failures are also non-fatal: the run still succeeds, it just is not
+// durable. Attach the store before launching work; a nil store detaches.
+func (r *Runner) SetStore(st *store.Store) {
+	r.store.Store(st)
+}
+
+// Stats reports cache effectiveness. Simulations is the number of
 // simulations the engine started executing (including any later
-// abandoned by cancellation), Hits the number of requests served from
-// the cache (including requests that waited on an in-flight simulation
-// of the same key).
+// abandoned by cancellation) — the misses that cost real work. MemHits
+// counts requests served from the in-process cache, including requests
+// that waited on an in-flight simulation of the same key; StoreHits
+// counts cache misses answered by the persistent store without
+// simulating (always 0 without SetStore). A warm resumed sweep is the
+// pattern {Simulations: 0, StoreHits: n}.
 type Stats struct {
 	Simulations uint64
-	Hits        uint64
+	MemHits     uint64
+	StoreHits   uint64
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
-	return Stats{Simulations: r.runs.Load(), Hits: r.hits.Load()}
+	return Stats{
+		Simulations: r.runs.Load(),
+		MemHits:     r.memHits.Load(),
+		StoreHits:   r.storeHits.Load(),
+	}
 }
 
 // Progress is one interval of one simulation, tagged with the run's
@@ -290,9 +280,54 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// workloadKey returns the content hash identifying bench's generated
+// source at scale (already effective), memoized per (benchmark, scale).
+// Folding it into every store key means editing a kernel invalidates
+// its stored results instead of silently serving stale ones — the
+// benchmark name alone does not identify the work.
+func (r *Runner) workloadKey(bench *workloads.Benchmark, scale int) string {
+	k := countKey{bench: bench.Name, scale: scale}
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if w, ok := r.wkeys[k]; ok {
+		return w
+	}
+	sum := sha256.Sum256([]byte(bench.Source(scale)))
+	w := hex.EncodeToString(sum[:8])
+	r.wkeys[k] = w
+	return w
+}
+
+// storeGet consults the persistent store (when attached) for key k,
+// decoding into out. Any failure — no store, entry missing, entry
+// corrupt — reads as a miss; a hit bumps the StoreHits counter.
+func (r *Runner) storeGet(k store.Key, out any) bool {
+	st := r.store.Load()
+	if st == nil {
+		return false
+	}
+	if err := st.Get(k, out); err != nil {
+		return false
+	}
+	r.storeHits.Add(1)
+	return true
+}
+
+// storePut persists a freshly computed value best-effort: a store that
+// cannot be written (disk full, permissions) costs durability, not
+// correctness, so errors are deliberately dropped. A zero key (no
+// store was attached when the leader started) is a no-op.
+func (r *Runner) storePut(k store.Key, v any) {
+	if st := r.store.Load(); st != nil && k.Kind != "" {
+		_ = st.Put(k, v)
+	}
+}
+
 // Run simulates bench at scale under cfg, returning the memoized result
-// if this (config, benchmark, scale) triple has been simulated before.
-// The returned Result is shared; callers must treat it as read-only.
+// if this (config, benchmark, scale) triple has been simulated before —
+// from the in-memory cache, or from the persistent store when one is
+// attached (see SetStore). The returned Result is shared; callers must
+// treat it as read-only.
 //
 // Canceling ctx aborts the caller's wait and, if this caller is the one
 // executing the simulation, the simulation itself — promptly, with an
@@ -308,10 +343,23 @@ func (r *Runner) Run(ctx context.Context, cfg pipeline.Config, bench *workloads.
 	k := simKey{cfg: cfg.Key(), bench: bench.Name, scale: scale}
 
 	res, leader, err := singleflight(ctx, &r.mu, r.sims, k, func(ctx context.Context) (*pipeline.Result, error) {
-		return r.simulate(ctx, cfg, bench, scale)
+		var sk store.Key
+		if r.store.Load() != nil {
+			sk = store.ExactKey(k.cfg, k.bench, k.scale, r.workloadKey(bench, scale))
+			var cached pipeline.Result
+			if r.storeGet(sk, &cached) {
+				return &cached, nil
+			}
+		}
+		res, err := r.simulate(ctx, cfg, bench, scale)
+		if err != nil {
+			return nil, err
+		}
+		r.storePut(sk, res)
+		return res, nil
 	})
 	if err == nil && !leader {
-		r.hits.Add(1)
+		r.memHits.Add(1)
 	}
 	return res, err
 }
@@ -341,8 +389,10 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workl
 // (functional fast-forward + periodic detailed windows; see
 // internal/sample), memoized by (config key, benchmark, scale, sampling
 // regime) — a cache disjoint from the exact-result cache, so sampled
-// estimates and exact results never collide. Cancellation semantics
-// match Run: a canceled leader hands the slot to a live waiter.
+// estimates and exact results never collide. The persistent store, when
+// attached, mirrors the same disjointness: sampled entries carry the
+// regime key. Cancellation semantics match Run: a canceled leader hands
+// the slot to a live waiter.
 func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *workloads.Benchmark, scale int, sc sample.Config) (*sample.Result, error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
@@ -356,6 +406,14 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 	k := sampleKey{cfg: cfg.Key(), bench: bench.Name, scale: scale, sampling: sc.Key()}
 
 	res, leader, err := singleflight(ctx, &r.pmu, r.sampled, k, func(ctx context.Context) (*sample.Result, error) {
+		var sk store.Key
+		if r.store.Load() != nil {
+			sk = store.SampledKey(k.cfg, k.bench, k.scale, k.sampling, r.workloadKey(bench, scale))
+			var cached sample.Result
+			if r.storeGet(sk, &cached) {
+				return &cached, nil
+			}
+		}
 		// The counting pre-pass is shared: InstCount is memoized per
 		// (benchmark, scale), so every machine configuration sampling
 		// the same workload reuses one emulation of it.
@@ -375,24 +433,40 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 			return nil, err
 		}
 		sr.Scale = scale
+		r.storePut(sk, sr)
 		return sr, nil
 	})
 	if err == nil && !leader {
-		r.hits.Add(1)
+		r.memHits.Add(1)
 	}
 	return res, err
 }
 
 // InstCount returns bench's dynamic instruction count at scale from the
-// architectural emulator, memoized by (benchmark, scale). Emulation runs
-// under the same worker pool as simulations and honors ctx with the same
-// leader-handoff semantics as Run.
+// architectural emulator, memoized by (benchmark, scale) and persisted
+// in the attached store (KindCount entries), so warm processes skip
+// even the counting emulation. Emulation runs under the same worker
+// pool as simulations and honors ctx with the same leader-handoff
+// semantics as Run.
 func (r *Runner) InstCount(ctx context.Context, bench *workloads.Benchmark, scale int) (uint64, error) {
 	scale = effectiveScale(bench, scale)
 	k := countKey{bench: bench.Name, scale: scale}
 
 	n, _, err := singleflight(ctx, &r.cmu, r.counts, k, func(ctx context.Context) (uint64, error) {
-		return r.emulate(ctx, bench, scale)
+		var sk store.Key
+		if r.store.Load() != nil {
+			sk = store.CountKey(k.bench, k.scale, r.workloadKey(bench, scale))
+			var cached store.Count
+			if r.storeGet(sk, &cached) {
+				return cached.Insts, nil
+			}
+		}
+		n, err := r.emulate(ctx, bench, scale)
+		if err != nil {
+			return 0, err
+		}
+		r.storePut(sk, &store.Count{Insts: n})
+		return n, nil
 	})
 	return n, err
 }

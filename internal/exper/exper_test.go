@@ -40,7 +40,7 @@ func TestRunMemoizes(t *testing.T) {
 	if r1 != r2 {
 		t.Error("identical requests should return the same cached *Result")
 	}
-	if st := r.Stats(); st.Simulations != 1 || st.Hits != 1 {
+	if st := r.Stats(); st.Simulations != 1 || st.MemHits != 1 {
 		t.Errorf("stats = %+v, want 1 simulation and 1 hit", st)
 	}
 	if r1.Scale != 1 || r1.ConfigKey != cfg.Key() || r1.Program != "mcf" {
@@ -59,7 +59,7 @@ func TestKeyIgnoresDisplayName(t *testing.T) {
 	if mustRun(t, r, cfg, b, 1) != mustRun(t, r, renamed, b, 1) {
 		t.Error("configs differing only in Name should share one simulation")
 	}
-	if st := r.Stats(); st.Simulations != 1 || st.Hits != 1 {
+	if st := r.Stats(); st.Simulations != 1 || st.MemHits != 1 {
 		t.Errorf("stats = %+v, want dedup across display names", st)
 	}
 }
@@ -73,7 +73,7 @@ func TestDistinctConfigsDoNotCollide(t *testing.T) {
 	if mustRun(t, r, cfg, b, 1) == mustRun(t, r, base, b, 1) {
 		t.Error("different machines must not share a cache slot")
 	}
-	if st := r.Stats(); st.Simulations != 2 || st.Hits != 0 {
+	if st := r.Stats(); st.Simulations != 2 || st.MemHits != 0 {
 		t.Errorf("stats = %+v, want 2 distinct simulations", st)
 	}
 }
@@ -116,8 +116,8 @@ func TestConcurrentRequestsSingleflight(t *testing.T) {
 	if st.Simulations != 1 {
 		t.Errorf("%d concurrent identical requests ran %d simulations, want 1", callers, st.Simulations)
 	}
-	if st.Hits != callers-1 {
-		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	if st.MemHits != callers-1 {
+		t.Errorf("hits = %d, want %d", st.MemHits, callers-1)
 	}
 }
 
@@ -141,7 +141,7 @@ func TestMatrixDedupsAcrossCells(t *testing.T) {
 			t.Errorf("bench %d: aliased default config should share a result", i)
 		}
 	}
-	if st := r.Stats(); st.Simulations != 4 || st.Hits != 2 {
+	if st := r.Stats(); st.Simulations != 4 || st.MemHits != 2 {
 		t.Errorf("stats = %+v, want 4 simulations (2 benches x 2 unique configs) and 2 hits", st)
 	}
 }

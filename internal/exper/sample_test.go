@@ -72,8 +72,8 @@ func TestSampledAndExactDoNotCollide(t *testing.T) {
 	if st2.Simulations != st.Simulations {
 		t.Errorf("repeat requests re-simulated: %d -> %d", st.Simulations, st2.Simulations)
 	}
-	if st2.Hits != st.Hits+2 {
-		t.Errorf("cache hits went %d -> %d, want +2", st.Hits, st2.Hits)
+	if st2.MemHits != st.MemHits+2 {
+		t.Errorf("cache hits went %d -> %d, want +2", st.MemHits, st2.MemHits)
 	}
 }
 

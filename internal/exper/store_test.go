@@ -1,0 +1,307 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeRunner builds a fresh engine backed by st — "fresh" models a new
+// process sharing the same store directory.
+func storeRunner(st *store.Store) *Runner {
+	r := NewRunner(2)
+	r.SetStore(st)
+	return r
+}
+
+func TestStoreReadThrough(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+
+	cold := storeRunner(st)
+	want, err := cold.Run(ctx, pipeline.DefaultConfig(), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := cold.Stats(); cs.Simulations != 1 || cs.StoreHits != 0 {
+		t.Errorf("cold stats = %+v, want 1 simulation, 0 store hits", cs)
+	}
+
+	warm := storeRunner(st)
+	got, err := warm.Run(ctx, pipeline.DefaultConfig(), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.Stats()
+	if ws.Simulations != 0 || ws.StoreHits != 1 {
+		t.Errorf("warm stats = %+v, want 0 simulations, 1 store hit", ws)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("store round trip changed the result:\ncold %+v\nwarm %+v", want, got)
+	}
+
+	// Within the warm process, repeats hit memory, not the store again.
+	if _, err := warm.Run(ctx, pipeline.DefaultConfig(), b, 1); err != nil {
+		t.Fatal(err)
+	}
+	ws2 := warm.Stats()
+	if ws2.StoreHits != 1 || ws2.MemHits != 1 {
+		t.Errorf("repeat stats = %+v, want the repeat served from memory", ws2)
+	}
+}
+
+func TestStoreCorruptEntryResimulated(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+
+	cold := storeRunner(st)
+	want, err := cold.Run(ctx, pipeline.DefaultConfig(), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scribble over every entry file.
+	err = filepath.WalkDir(st.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("not a store entry"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine must fall back to simulating — corruption is a
+	// miss, never an error — and heal the entry by rewriting it.
+	warm := storeRunner(st)
+	got, err := warm.Run(ctx, pipeline.DefaultConfig(), b, 1)
+	if err != nil {
+		t.Fatalf("corrupt store surfaced an error: %v", err)
+	}
+	if ws := warm.Stats(); ws.Simulations != 1 || ws.StoreHits != 0 {
+		t.Errorf("stats over corrupt store = %+v, want a resimulation", ws)
+	}
+	if got.Cycles != want.Cycles {
+		t.Errorf("resimulation diverged: %d cycles vs %d", got.Cycles, want.Cycles)
+	}
+
+	healed := storeRunner(st)
+	if _, err := healed.Run(ctx, pipeline.DefaultConfig(), b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hs := healed.Stats(); hs.Simulations != 0 || hs.StoreHits != 1 {
+		t.Errorf("stats after healing = %+v, want a store hit", hs)
+	}
+}
+
+func TestStoreExactAndSampledDisjoint(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+	sc := sample.DefaultConfig()
+
+	r1 := storeRunner(st)
+	if _, err := r1.RunSampled(ctx, pipeline.DefaultConfig(), b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sampled entry must not satisfy an exact request...
+	r2 := storeRunner(st)
+	if _, err := r2.Run(ctx, pipeline.DefaultConfig(), b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := r2.Stats(); s2.Simulations != 1 {
+		t.Errorf("exact request after sampled run: stats %+v, want a fresh simulation", s2)
+	}
+
+	// ...but does satisfy a sampled request under the same regime, and
+	// the memoized instruction count is reloaded too (no emulation).
+	r3 := storeRunner(st)
+	sr, err := r3.RunSampled(ctx, pipeline.DefaultConfig(), b, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 := r3.Stats(); s3.Simulations != 0 || s3.StoreHits != 1 {
+		t.Errorf("sampled rerun stats = %+v, want 0 simulations, 1 store hit", s3)
+	}
+	if sr.TotalInsts == 0 {
+		t.Error("reloaded sampled result lost TotalInsts")
+	}
+
+	// A different regime is a different entry.
+	sc2 := sc
+	sc2.Warmup += 50
+	r4 := storeRunner(st)
+	if _, err := r4.RunSampled(ctx, pipeline.DefaultConfig(), b, 1, sc2); err != nil {
+		t.Fatal(err)
+	}
+	if s4 := r4.Stats(); s4.Simulations != 1 {
+		t.Errorf("different regime reused a sampled entry: stats %+v", s4)
+	}
+}
+
+func TestInstCountPersisted(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+
+	r1 := storeRunner(st)
+	want, err := r1.InstCount(ctx, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := storeRunner(st)
+	got, err := r2.InstCount(ctx, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("persisted InstCount = %d, want %d", got, want)
+	}
+	if s2 := r2.Stats(); s2.StoreHits != 1 {
+		t.Errorf("second process recounted instead of hitting the store: %+v", s2)
+	}
+}
+
+// resumeSpec is a small two-benchmark sweep: 2 benchmarks x (reference
+// + 1 variant) = 4 cells.
+func resumeSpec() *SweepSpec {
+	return &SweepSpec{
+		Title:        "resume probe",
+		Benchmarks:   []string{"tst", "untst"},
+		Scale:        1,
+		PerBenchmark: true,
+		Variants:     []VariantSpec{{Label: "opt"}},
+	}
+}
+
+// TestSweepKillAndResume models the crash-resume cycle: a sweep is
+// killed mid-flight (context cancellation — the CLI's Ctrl-C path), a
+// second invocation completes it simulating only the missing cells,
+// and a third performs zero simulations while producing byte-identical
+// output.
+func TestSweepKillAndResume(t *testing.T) {
+	st := openStore(t)
+	spec := resumeSpec()
+	const totalCells = 4
+
+	// Phase 1: kill the sweep at the first sign of progress. Depending
+	// on scheduling, zero or more cells completed — and exactly those
+	// are durable.
+	killed := storeRunner(st)
+	killed.SetProgressInterval(500)
+	ctx, cancel := context.WithCancel(context.Background())
+	killed.Observe(func(Progress) { cancel() })
+	_, err := killed.Sweep(ctx, spec)
+	if err == nil {
+		t.Fatal("canceled sweep reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed sweep failed with %v, want context.Canceled", err)
+	}
+
+	info, err := st.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := info.ByKind[store.KindExact]
+	if persisted >= totalCells {
+		// The cancel can in principle land after every cell finished;
+		// the resume invariants below still hold, just with nothing
+		// left to simulate.
+		t.Logf("kill landed late: %d/%d cells persisted", persisted, totalCells)
+	}
+
+	// Phase 2: resume. Only the missing cells may simulate; every
+	// persisted cell must be a store hit.
+	resumed := storeRunner(st)
+	sr, err := resumed.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := resumed.Stats()
+	if int(rs.Simulations) != totalCells-persisted {
+		t.Errorf("resume simulated %d cells, want %d (total %d - %d persisted)",
+			rs.Simulations, totalCells-persisted, totalCells, persisted)
+	}
+	if int(rs.StoreHits) != persisted {
+		t.Errorf("resume store hits = %d, want %d", rs.StoreHits, persisted)
+	}
+	var first bytes.Buffer
+	if err := sr.WriteTable(&first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: fully warm — zero simulations, byte-identical table.
+	warm := storeRunner(st)
+	sr2, err := warm.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.Stats()
+	if ws.Simulations != 0 {
+		t.Errorf("warm rerun simulated %d cells, want 0", ws.Simulations)
+	}
+	if int(ws.StoreHits) != totalCells {
+		t.Errorf("warm rerun store hits = %d, want %d", ws.StoreHits, totalCells)
+	}
+	var second bytes.Buffer
+	if err := sr2.WriteTable(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("warm sweep output differs from resumed run:\n--- resumed\n%s--- warm\n%s", first.String(), second.String())
+	}
+	if !strings.Contains(second.String(), "tst") {
+		t.Errorf("sweep table looks empty:\n%s", second.String())
+	}
+}
+
+// TestStoreSharedAcrossLabels pins the content-hash property end to
+// end: two sweeps describing the same machine under different labels
+// share store entries, not just memory cache slots.
+func TestStoreSharedAcrossLabels(t *testing.T) {
+	st := openStore(t)
+	specA := &SweepSpec{
+		Benchmarks: []string{"tst"},
+		Scale:      1,
+		Variants:   []VariantSpec{{Label: "alpha"}},
+	}
+	specB := &SweepSpec{
+		Benchmarks: []string{"tst"},
+		Scale:      1,
+		Variants:   []VariantSpec{{Label: "beta"}},
+	}
+	r1 := storeRunner(st)
+	if _, err := r1.Sweep(context.Background(), specA); err != nil {
+		t.Fatal(err)
+	}
+	r2 := storeRunner(st)
+	if _, err := r2.Sweep(context.Background(), specB); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := r2.Stats(); s2.Simulations != 0 {
+		t.Errorf("relabeled sweep resimulated %d cells; config content hashing should dedupe them", s2.Simulations)
+	}
+}

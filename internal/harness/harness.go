@@ -31,6 +31,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -56,6 +57,14 @@ type Options struct {
 	// much faster at large scale, accurate to the reported confidence
 	// interval. Sampled and exact results are cached separately.
 	Sample *sample.Config
+	// Store, when non-nil, backs simulation with the persistent result
+	// store: finished cells are durable across processes, and a rerun
+	// of the same artifact — in this process or a later one — reloads
+	// them instead of resimulating, which is what makes interrupted
+	// artifact builds resumable. When Engine is set, attach the store
+	// to that engine instead (exper.Runner.SetStore); this field then
+	// has no effect, since the engine's layering governs.
+	Store *store.Store
 }
 
 func (o Options) machine() pipeline.Config {
@@ -63,12 +72,17 @@ func (o Options) machine() pipeline.Config {
 }
 
 // engine returns the shared engine, or builds a private one bounded by
-// o.Parallelism.
+// o.Parallelism and backed by o.Store — so even engine-less artifact
+// calls share results durably through the store.
 func (o Options) engine() *exper.Runner {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	return exper.NewRunner(o.Parallelism)
+	r := exper.NewRunner(o.Parallelism)
+	if o.Store != nil {
+		r.SetStore(o.Store)
+	}
+	return r
 }
 
 // suiteRun holds one benchmark's results across a set of configurations.

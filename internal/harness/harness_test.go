@@ -425,8 +425,8 @@ func TestArtifactsShareOneSimulationPerTriple(t *testing.T) {
 	if st.Simulations != 44 {
 		t.Errorf("ran %d simulations, want 44 (22 benchmarks x {baseline, default})", st.Simulations)
 	}
-	if st.Hits != 22 {
-		t.Errorf("cache hits = %d, want 22 (Table3 reuses Figure6's default-machine runs)", st.Hits)
+	if st.MemHits != 22 {
+		t.Errorf("cache hits = %d, want 22 (Table3 reuses Figure6's default-machine runs)", st.MemHits)
 	}
 
 	// A fourth artifact over the same configs is formatting only.

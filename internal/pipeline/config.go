@@ -1,18 +1,3 @@
-// Package pipeline implements the cycle-level out-of-order processor
-// model the paper evaluates continuous optimization on: a deeply
-// pipelined (Pentium-4-like, 20-cycle minimum branch resolution loop),
-// 4-wide machine with four 8-entry schedulers, a 160-entry instruction
-// window, and the Table 2 memory hierarchy.
-//
-// The model is trace driven: an architectural emulator (the oracle)
-// supplies the correct-path dynamic instruction stream, and the pipeline
-// replays it through fetch, decode, rename/optimize, dispatch, issue,
-// execute and retire, charging realistic latencies and resource
-// conflicts. On a branch misprediction, fetch stalls until the branch
-// resolves — at execute, or at the rename stage when the continuous
-// optimizer resolves it early — then restarts down the front end; this
-// reproduces exactly the resolution-time effect the paper measures while
-// avoiding wrong-path simulation.
 package pipeline
 
 import (

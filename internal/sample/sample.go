@@ -1,29 +1,3 @@
-// Package sample implements sampled simulation: instead of simulating
-// every cycle of a program in the detailed model, it fast-forwards
-// through the architectural emulator (internal/emu, the oracle) and
-// periodically drops into the cycle-level model (internal/pipeline) for
-// a short detailed window, then estimates whole-run performance from
-// the measured windows.
-//
-// The method is classic SMARTS-style systematic sampling: detailed
-// windows start every Period dynamic instructions; each window seeds a
-// fresh pipeline.Session from an architectural checkpoint
-// (emu.Machine.Snapshot → pipeline.NewFromCheckpoint), runs Warmup
-// instructions in full detail with statistics discarded (filling the
-// caches, branch predictor, and optimizer tables), then measures the
-// next Window instructions. Whole-run CPI is estimated as the
-// retirement-weighted mean CPI of the measured windows, whole-run
-// cycles as TotalInsts × CPI, and the spread of per-window CPIs yields
-// a 95% confidence interval on the estimate.
-//
-// Because the detailed model is trace-driven — it validates every
-// optimizer decision against the oracle's values — a checkpointed
-// session retires exactly the same instruction stream as a full run;
-// the only approximation is timing cold-start at window boundaries,
-// which Warmup bounds. Exact and sampled results are distinct
-// estimators of the same quantity and must never share a result cache
-// slot: exper keys sampled runs by Config.Key in addition to the
-// machine config.
 package sample
 
 import (
