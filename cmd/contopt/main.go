@@ -62,6 +62,8 @@
 //	-sample-warmup N  detailed warmup instructions per window (stats discarded)
 //	-sample-window N  measured detailed instructions per window
 //	-tolerance PCT    sample-check failure threshold (default 5)
+//	-cpuprofile F     write a CPU profile of the command to F
+//	-memprofile F     write a heap profile to F when the command finishes
 package main
 
 import (
@@ -71,6 +73,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"text/tabwriter"
@@ -115,6 +119,8 @@ func run(ctx context.Context, args []string) error {
 	sampleWindow := fs.Uint64("sample-window", 0, "measured detailed instructions per window (0 = default)")
 	tolerance := fs.Float64("tolerance", 5, "sample-check failure threshold, percent")
 	checkIPC := fs.Bool("check-ipc", false, "sample-check: also gate per-machine IPC errors, not just speedup")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the command finishes")
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -127,6 +133,34 @@ func run(ctx context.Context, args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// Profiling: every command (run, sweep, artifacts, ...) can be
+	// profiled directly, so performance work needs no ad-hoc builds.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "contopt: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "contopt: memprofile:", err)
+			}
+		}()
 	}
 
 	// The sampling regime: nil means exact simulation. sample-check
@@ -514,7 +548,8 @@ commands:
 
 flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
-       -tolerance PCT and -check-ipc (sample-check)
+       -tolerance PCT and -check-ipc (sample-check),
+       -cpuprofile F, -memprofile F (any command)
 
 -sample applies to run, sweep and every artifact command: simulation
 fast-forwards through the functional emulator and only short periodic

@@ -76,8 +76,13 @@ func New(cfg Config) *Predictor {
 		btbOK:  make([]bool, cfg.BTBEntries),
 		ras:    make([]uint64, cfg.RASEntries),
 	}
-	for i := range p.pht {
-		p.pht[i] = 1 // weakly not-taken
+	// Initialize every counter to weakly not-taken by doubling copies:
+	// the 256K-entry default table is filled at memmove speed instead
+	// of byte-at-a-time, which matters because sweeps and sampled
+	// simulation construct one predictor per session/window.
+	p.pht[0] = 1
+	for i := 1; i < len(p.pht); i <<= 1 {
+		copy(p.pht[i:], p.pht[:i])
 	}
 	return p
 }

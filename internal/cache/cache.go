@@ -58,8 +58,13 @@ func New(cfg Config) *Cache {
 	c.tags = make([]uint64, n)
 	c.valid = make([]bool, n)
 	c.lru = make([]uint8, n)
+	w := uint8(0)
 	for i := range c.lru {
-		c.lru[i] = uint8(i % cfg.Assoc)
+		c.lru[i] = w
+		w++
+		if int(w) == cfg.Assoc {
+			w = 0
+		}
 	}
 	return c
 }

@@ -36,13 +36,20 @@ type mbcEntry struct {
 type mbc struct {
 	entries []mbcEntry
 	prf     *regfile.File
+
+	// bases[p] counts valid entries whose symbolic base is preg p,
+	// maintained alongside the reference counts. feedback consults it
+	// to skip the full-table scan for the (overwhelmingly common)
+	// produced values no MBC entry is expressed against — the scan was
+	// the hottest simulator function before the gate.
+	bases []uint32
 }
 
 func newMBC(entries int, prf *regfile.File) *mbc {
 	if entries <= 0 {
 		entries = 128
 	}
-	return &mbc{entries: make([]mbcEntry, entries), prf: prf}
+	return &mbc{entries: make([]mbcEntry, entries), prf: prf, bases: make([]uint32, prf.Size())}
 }
 
 func (m *mbc) index(addr uint64) int {
@@ -64,6 +71,7 @@ func (m *mbc) dropRefs(e *mbcEntry) {
 	}
 	m.prf.Release(e.preg)
 	if e.sym.HasBase() {
+		m.bases[e.sym.Base]--
 		m.prf.Release(e.sym.Base)
 	}
 }
@@ -76,6 +84,7 @@ func (m *mbc) install(addr uint64, size uint8, preg regfile.PReg, sym SymVal, or
 	// case the payloads alias.
 	m.prf.AddRef(preg)
 	if sym.HasBase() {
+		m.bases[sym.Base]++
 		m.prf.AddRef(sym.Base)
 	}
 	old := *e
@@ -99,11 +108,17 @@ func (m *mbc) flush() {
 }
 
 // feedback folds a produced value into every entry based on preg p.
+// The scan only runs when the base index says at least one entry is
+// expressed against p.
 func (m *mbc) feedback(p regfile.PReg, val uint64) (applied uint64) {
+	if m.bases[p] == 0 {
+		return 0
+	}
 	for i := range m.entries {
 		e := &m.entries[i]
 		if e.valid && e.sym.HasBase() && e.sym.Base == p {
 			e.sym = Const(e.sym.Eval(val))
+			m.bases[p]--
 			m.prf.Release(p)
 			applied++
 		}

@@ -95,6 +95,13 @@ type Optimizer struct {
 	consumed []bool
 	tracked  []bool
 
+	// ratBases[p] counts RAT entries whose symbolic value is expressed
+	// against preg p, maintained by symRef/symUnref alongside the
+	// reference counts. Feedback consults it to skip the table scan for
+	// produced values no entry is based on — the common case on the
+	// steady-state path.
+	ratBases []uint32
+
 	bundle       uint64
 	bundleChains int // chained-memory ops used this bundle
 }
@@ -119,6 +126,7 @@ func NewOptimizerAt(cfg Config, prf *regfile.File, regs *[isa.NumRegs]uint64) *O
 		vals:     make([]uint64, prf.Size()),
 		consumed: make([]bool, prf.Size()),
 		tracked:  make([]bool, prf.Size()),
+		ratBases: make([]uint32, prf.Size()),
 		bundle:   1,
 	}
 	if cfg.Mode == ModeFull {
@@ -150,10 +158,29 @@ func NewOptimizerAt(cfg Config, prf *regfile.File, regs *[isa.NumRegs]uint64) *O
 			e.sym = Const(v)
 		} else {
 			e.sym = Sym(p)
-			prf.AddRef(p) // sym base reference
+			o.symRef(p)
 		}
 	}
 	return o
+}
+
+// symRef takes a RAT symbolic-base reference on p, keeping the base
+// index in step with the reference counts.
+func (o *Optimizer) symRef(p regfile.PReg) {
+	if p == regfile.NoPReg {
+		return
+	}
+	o.ratBases[p]++
+	o.prf.AddRef(p)
+}
+
+// symUnref drops a RAT symbolic-base reference on p.
+func (o *Optimizer) symUnref(p regfile.PReg) {
+	if p == regfile.NoPReg {
+		return
+	}
+	o.ratBases[p]--
+	o.prf.Release(p)
 }
 
 // Stats returns the accumulated event counters.
@@ -181,12 +208,18 @@ func (o *Optimizer) Feedback(p regfile.PReg, val uint64) {
 	if o.cfg.DiscreteWindow > 0 {
 		return
 	}
-	for r := range o.rat {
-		e := &o.rat[r]
-		if e.symOK && e.sym.HasBase() && e.sym.Base == p {
-			e.sym = Const(e.sym.Eval(val))
-			o.prf.Release(p)
-			o.stats.FeedbackApplied++
+	// Scan only when the base index says some entry is expressed
+	// against p (the count may also cover non-symOK entries, which keep
+	// a plain symbolic value forever — the scan then finds nothing,
+	// exactly as before the gate).
+	if o.ratBases[p] > 0 {
+		for r := range o.rat {
+			e := &o.rat[r]
+			if e.symOK && e.sym.HasBase() && e.sym.Base == p {
+				e.sym = Const(e.sym.Eval(val))
+				o.symUnref(p)
+				o.stats.FeedbackApplied++
+			}
 		}
 	}
 	if o.mbc != nil {
@@ -264,7 +297,7 @@ func (o *Optimizer) setDest(r isa.Reg, p regfile.PReg, sym SymVal, depth int) {
 	// symbolic base may be kept alive only by the entry being replaced
 	// (e.g. `add r1, 1 -> r1` over a reassociated r1).
 	if sym.HasBase() {
-		o.prf.AddRef(sym.Base)
+		o.symRef(sym.Base)
 	}
 	oldPreg, oldSym := e.preg, e.sym
 	e.preg = p
@@ -273,7 +306,7 @@ func (o *Optimizer) setDest(r isa.Reg, p regfile.PReg, sym SymVal, depth int) {
 	e.depth = depth
 	o.prf.Release(oldPreg)
 	if oldSym.HasBase() {
-		o.prf.Release(oldSym.Base)
+		o.symUnref(oldSym.Base)
 	}
 }
 
@@ -308,6 +341,15 @@ func (o *Optimizer) addDep(deps []regfile.PReg, p regfile.PReg) []regfile.PReg {
 // still do. Instructions must be presented in program order; call
 // BeginBundle at each rename-cycle boundary.
 func (o *Optimizer) Rename(d *emu.DynInst) RenameResult {
+	return o.RenameInto(d, nil)
+}
+
+// RenameInto is Rename with a caller-owned dependence buffer: the
+// result's Deps list is built by appending to deps[:0] (at most two
+// entries per instruction), so a caller that recycles per-instruction
+// buffers — the pipeline's dynOp arena — renames with zero heap
+// allocation. A nil deps behaves exactly like Rename.
+func (o *Optimizer) RenameInto(d *emu.DynInst, deps []regfile.PReg) RenameResult {
 	// Discrete (offline) optimization invalidates the tables at each
 	// trace boundary (§3.4).
 	if o.cfg.DiscreteWindow > 0 && o.stats.Renamed > 0 &&
@@ -316,7 +358,7 @@ func (o *Optimizer) Rename(d *emu.DynInst) RenameResult {
 	}
 	o.stats.Renamed++
 	in := d.Inst
-	res := RenameResult{Dest: regfile.NoPReg, ExecClass: in.Op.Class()}
+	res := RenameResult{Dest: regfile.NoPReg, ExecClass: in.Op.Class(), Deps: deps[:0]}
 
 	switch in.Op.Class() {
 	case isa.ClassNop, isa.ClassHalt:
@@ -526,7 +568,7 @@ func (o *Optimizer) renameBranch(d *emu.DynInst, res *RenameResult) {
 			if zero && !a.sym.Known {
 				e := &o.rat[in.SrcA]
 				if e.sym.HasBase() {
-					o.prf.Release(e.sym.Base)
+					o.symUnref(e.sym.Base)
 				}
 				e.sym = Const(0)
 				o.stats.Inferences++
@@ -716,10 +758,10 @@ func (o *Optimizer) flushTables() {
 			continue
 		}
 		if e.sym.HasBase() {
-			o.prf.Release(e.sym.Base)
+			o.symUnref(e.sym.Base)
 		}
 		e.sym = Sym(e.preg)
-		o.prf.AddRef(e.preg)
+		o.symRef(e.preg)
 		e.bundle, e.depth = 0, 0
 	}
 	if o.mbc != nil {
@@ -737,7 +779,7 @@ func (o *Optimizer) ReleaseAll() {
 		if e.preg != regfile.NoPReg {
 			o.prf.Release(e.preg)
 			if e.sym.HasBase() {
-				o.prf.Release(e.sym.Base)
+				o.symUnref(e.sym.Base)
 			}
 			e.preg = regfile.NoPReg
 			e.sym = SymVal{}

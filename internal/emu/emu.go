@@ -324,6 +324,18 @@ func (m *Machine) Step() *DynInst {
 	return d
 }
 
+// StepInto executes one instruction into the caller-owned record d —
+// the allocation-free form of Step (the pipeline's fetch stage passes
+// arena-recycled records). It reports whether an instruction executed:
+// false means the machine had already halted and d is untouched.
+func (m *Machine) StepInto(d *DynInst) bool {
+	if m.halt {
+		return false
+	}
+	m.step(d)
+	return true
+}
+
 // step executes one instruction into d, which the caller may reuse
 // (Run's fast-forward loop does, to keep functional emulation
 // allocation-free). The machine must not be halted.

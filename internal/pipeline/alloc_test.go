@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+)
+
+// allocBody exercises every recycled structure on the steady-state
+// path: loads and stores (lastStore map, memDep links, MBC installs),
+// a long-latency multiply (event wheel at depth), and the loop's own
+// branch (feedback, early resolution).
+const allocBody = `
+    ldq [r3] -> r4
+    add r4, 3 -> r5
+    stq r5 -> [r3]
+    mul r5, r2 -> r6
+    ldq [r3+8] -> r7
+    add r7, r6 -> r8
+`
+
+// runAllocs builds and runs one session over prog and returns the
+// average allocation count of the whole New+Run pair.
+func runAllocs(t *testing.T, cfg Config, prog *emu.Program) (allocs float64, retired uint64) {
+	t.Helper()
+	var res *Result
+	allocs = testing.AllocsPerRun(3, func() {
+		s, err := New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(context.Background(), RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	return allocs, res.Retired
+}
+
+// TestRunSteadyStateAllocationFree is the allocation regression gate of
+// the arena/wheel/ring redesign: growing the instruction count must not
+// grow the allocation count. Comparing a short and a long run of the
+// same program cancels the fixed session-construction cost, so the
+// assertion is on the marginal allocations per retired instruction —
+// which must be (near) zero. This also pins the dispatch-queue
+// capacity-leak fix: the old `renQ = renQ[1:]` pattern re-allocated the
+// backing array throughout the run and fails this bound by orders of
+// magnitude, as did the per-fetch &dynOp{} and per-cycle completion-map
+// churn.
+func TestRunSteadyStateAllocationFree(t *testing.T) {
+	short, err := asm.Assemble("alloc-short", loopProg(100, allocBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := asm.Assemble("alloc-long", loopProg(3000, allocBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{DefaultConfig(), DefaultConfig().Baseline()} {
+		aShort, rShort := runAllocs(t, cfg, short)
+		aLong, rLong := runAllocs(t, cfg, long)
+		extraInsts := float64(rLong - rShort)
+		perInst := (aLong - aShort) / extraInsts
+		t.Logf("%s: %.0f allocs @ %d insts, %.0f allocs @ %d insts -> %.5f allocs/inst",
+			cfg.Name, aShort, rShort, aLong, rLong, perInst)
+		if perInst > 0.01 {
+			t.Errorf("%s: %.4f allocations per retired instruction in steady state, want ~0 (arena/wheel regression)",
+				cfg.Name, perInst)
+		}
+	}
+}
+
+// TestLastStoreEvicted checks the store-dependence map is bounded by
+// the in-flight window rather than the run's store footprint: after a
+// run that stores to thousands of distinct addresses, the map must be
+// empty (every store retired and evicted its entry).
+func TestLastStoreEvicted(t *testing.T) {
+	// Walk a pointer through a large buffer, storing at each step:
+	// every iteration stores to a fresh address.
+	src := `
+start:
+    ldi cnt -> r1
+    ldq [r1] -> r2
+    ldi buf -> r3
+loop:
+    stq r2 -> [r3]
+    add r3, 8 -> r3
+    sub r2, 1 -> r2
+    bne r2, loop
+    halt
+.org 0x40000
+.data cnt
+.quad 2000
+.data buf
+.quad 0
+`
+	prog, err := asm.Assemble("evict", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.lastStore); n != 0 {
+		t.Errorf("lastStore retains %d entries after the run; stores must evict at retire", n)
+	}
+}

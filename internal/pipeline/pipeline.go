@@ -39,10 +39,35 @@ func schedOf(c isa.Class) schedClass {
 	}
 }
 
-// dynOp is one in-flight dynamic instruction.
+// opRef names one in-flight op by its index in the session's arena.
+// The pipeline queues, schedulers, event wheel, and dependence links
+// all hold opRefs instead of *dynOp pointers: the arena slab is the
+// only place ops live, references are 4-byte integer stores with no GC
+// write barrier, and ops stay contiguous in memory.
+type opRef int32
+
+// noOp is the absent op reference.
+const noOp opRef = -1
+
+// dynOp is one in-flight dynamic instruction. Ops live in a
+// session-owned arena: fetch takes one from the free list (growing the
+// arena only while the in-flight population is still ramping) and
+// retire recycles it, so the steady-state loop creates no garbage. The
+// dynamic record d and the dependence buffer depbuf are embedded so
+// they recycle with the op.
 type dynOp struct {
-	d   *emu.DynInst
+	d   emu.DynInst
 	res core.RenameResult
+
+	// depbuf backs res.Deps (at most two dependences per instruction);
+	// rename appends into it via Optimizer.RenameInto, so dependence
+	// lists cost no allocation.
+	depbuf [2]regfile.PReg
+
+	// gen counts recycles of this arena slot. A holder of a possibly
+	// stale *dynOp (a load's memDep) captures the generation alongside
+	// the pointer; a mismatch means the op has retired since.
+	gen uint32
 
 	frontReadyAt uint64 // cycle the op reaches the rename stage
 	renameDoneAt uint64
@@ -59,8 +84,13 @@ type dynOp struct {
 	// memDep is the youngest older in-flight store to this load's
 	// address; the load forwards from it and cannot begin executing
 	// before the store's data is ready (store-to-load forwarding with
-	// perfect memory disambiguation).
-	memDep *dynOp
+	// perfect memory disambiguation). memDepGen is the store's
+	// generation at capture: once the store retires (and its slot is
+	// recycled) the generations diverge, which canIssue reads as "the
+	// dependence is long satisfied" — exactly the timing the retired
+	// store's frozen doneAt would have produced.
+	memDep    opRef
+	memDepGen uint32
 }
 
 // completed reports whether the op's result (if any) is available at
@@ -91,28 +121,49 @@ type Session struct {
 	caches *cache.Hierarchy
 
 	cycle  uint64
-	fetchQ []*dynOp
-	renQ   []*dynOp
-	window []*dynOp
-	scheds [numScheds][]*dynOp
+	fetchQ opRing
+	renQ   opRing
+	window opRing
+	scheds [numScheds][]opRef
 	ready  []uint64
 
-	completions map[uint64][]*dynOp
-	feedbackQ   map[uint64][]feedbackEv
+	// renQCap bounds renQ (it must cover the rename+dispatch latency
+	// at full width or it throttles throughput below the machine
+	// width); precomputed so rename does no arithmetic per cycle.
+	renQCap int
 
-	// lastStore tracks the youngest renamed store per address for
-	// store-to-load dependence timing.
-	lastStore map[uint64]*dynOp
+	// completions and feedbackQ are fixed-horizon event wheels indexed
+	// by cycle & mask; the horizon is sized in newSession from the
+	// worst-case execution latency (cache-miss chain, long dividers)
+	// plus the feedback delay, so in practice nothing ever spills.
+	completions wheel[opRef]
+	feedbackQ   wheel[feedbackEv]
+
+	// ops and opFree implement the dynOp arena: all in-flight ops live
+	// in the ops slab (presized to the pipeline's total queue capacity,
+	// so it stops growing once the machine fills), retire pushes
+	// recycled slots onto opFree, and fetch pops them.
+	ops    []dynOp
+	opFree []opRef
+
+	// lastStore tracks the youngest in-flight renamed store per address
+	// for store-to-load dependence timing. Entries are evicted when the
+	// store retires — required for arena recycling (a stale entry would
+	// alias a recycled op) and to keep the map bounded by the window
+	// size instead of the run's store footprint.
+	lastStore map[uint64]opRef
 
 	windowOccSum uint64
 	schedOccSum  uint64
 
 	fetchResumeAt  uint64 // fetch stalled until this cycle (notReady = until resolve)
 	fetchBlockedAt uint64 // I-cache miss in progress
-	stalling       *dynOp
+	stalling       opRef  // noOp when fetch is not stalled on a branch
 	fetchDone      bool
 	fetched        uint64
 	lastLine       uint64
+	lineB          uint64 // L1I line size, hoisted out of the fetch loop
+	l1iLat         uint64 // L1I hit latency, ditto
 
 	res Result
 
@@ -189,6 +240,19 @@ func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState)
 	if caches == nil {
 		caches = cache.NewHierarchy(cfg.Caches)
 	}
+	// The event-wheel horizon must exceed the furthest ahead any event
+	// is ever scheduled: a completion lands at most RegReadLat plus the
+	// worst-case execution latency ahead (a load missing every cache
+	// level plus address generation, or the 20-cycle dividers), and a
+	// feedback event FeedbackDelay beyond that. Anything larger (a
+	// hand-built config with extreme latencies) spills into the wheel's
+	// overflow map instead of breaking the model.
+	maxExec := cfg.Caches.L1D.Latency + cfg.Caches.L2.Latency + cfg.Caches.MemLatency + 1
+	if maxExec < 20 {
+		maxExec = 20
+	}
+	horizon := int(cfg.RegReadLat+maxExec+cfg.FeedbackDelay) + 2
+	fetchCap := cfg.FetchWidth * int(cfg.FrontLat+2)
 	s := &Session{
 		cfg:         cfg,
 		oracle:      oracle,
@@ -197,19 +261,28 @@ func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState)
 		bp:          bp,
 		caches:      caches,
 		ready:       make([]uint64, cfg.PRegs),
-		completions: make(map[uint64][]*dynOp),
-		feedbackQ:   make(map[uint64][]feedbackEv),
-		lastStore:   make(map[uint64]*dynOp),
+		renQCap:     cfg.FetchWidth * int(cfg.totalRenameLat()+cfg.DispatchLat+2),
+		completions: newWheel[opRef](horizon),
+		feedbackQ:   newWheel[feedbackEv](horizon),
+		lastStore:   make(map[uint64]opRef),
+		stalling:    noOp,
 		lastLine:    notReady,
 		// Pre-size the pipeline queues to their steady-state bounds so
-		// sessions skip the initial slice-growth ramp — noticeable when
+		// sessions skip the initial ring-growth ramp — noticeable when
 		// sampled simulation builds one short session per window.
-		fetchQ: make([]*dynOp, 0, cfg.FetchWidth*int(cfg.FrontLat+2)),
-		renQ:   make([]*dynOp, 0, cfg.FetchWidth*int(cfg.totalRenameLat()+cfg.DispatchLat+2)),
-		window: make([]*dynOp, 0, cfg.WindowSize),
+		fetchQ: newOpRing(fetchCap),
+		window: newOpRing(cfg.WindowSize),
 	}
+	s.renQ = newOpRing(s.renQCap)
+	s.lineB = uint64(caches.L1I.Config().LineB)
+	s.l1iLat = caches.L1I.Latency()
+	// The arena covers every queue position an op can occupy (window
+	// ops include the scheduler entries), plus one fetch bundle of
+	// slack: in-flight ops can never exceed that, so the slab stops
+	// growing — and op indices stay stable — once the machine fills.
+	s.ops = make([]dynOp, 0, fetchCap+s.renQCap+cfg.WindowSize+cfg.FetchWidth+1)
 	for c := schedInt; c < numScheds; c++ {
-		s.scheds[c] = make([]*dynOp, 0, cfg.SchedEntries)
+		s.scheds[c] = make([]opRef, 0, cfg.SchedEntries)
 	}
 	s.res.Machine = cfg.Name
 	s.res.Program = prog.Name
@@ -224,20 +297,60 @@ func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState)
 // call after Run).
 func (s *Session) LiveRegs() int { return s.prf.LiveCount() }
 
+// op resolves an opRef to its arena slot. The pointer is valid until
+// the next newOp call (which may grow the slab); the cycle stages hold
+// it only within one loop iteration.
+func (s *Session) op(i opRef) *dynOp { return &s.ops[i] }
+
+// newOp takes a recycled slot from the arena free list, or extends the
+// slab while the in-flight population is still ramping. Recycled ops
+// arrive with branch flags and memory dependence cleared (see freeOp);
+// the fetch/rename/dispatch/issue path overwrites every other field
+// before reading it.
+func (s *Session) newOp() opRef {
+	if n := len(s.opFree); n > 0 {
+		i := s.opFree[n-1]
+		s.opFree = s.opFree[:n-1]
+		return i
+	}
+	s.ops = append(s.ops, dynOp{memDep: noOp})
+	return opRef(len(s.ops) - 1)
+}
+
+// freeOp recycles op's slot at retire. The generation advances, so any
+// stale reference still held (a younger load's memDep) is detectable
+// by generation mismatch. Only the fields the fetch/rename path reads
+// before writing — the set-only-to-true branch flags and the memory
+// dependence — are reset; everything else (d, res, timing stamps) is
+// fully overwritten on reuse.
+func (s *Session) freeOp(i opRef) {
+	op := s.op(i)
+	op.gen++
+	op.issued = false
+	op.mispredicted = false
+	op.stallsFetch = false
+	op.resolvedEarly = false
+	op.decodeHandled = false
+	op.memDep = noOp
+	op.memDepGen = 0
+	s.opFree = append(s.opFree, i)
+}
+
 func (s *Session) done() bool {
-	return s.fetchDone && len(s.fetchQ) == 0 && len(s.renQ) == 0 && len(s.window) == 0
+	return s.fetchDone && s.fetchQ.len() == 0 && s.renQ.len() == 0 && s.window.len() == 0
 }
 
 // retire removes completed instructions, oldest first, releasing their
-// physical-register references.
+// physical-register references and recycling the ops into the arena.
 func (s *Session) retire() {
 	n := 0
-	for n < s.cfg.RetireWidth && len(s.window) > 0 {
-		op := s.window[0]
+	for n < s.cfg.RetireWidth && s.window.len() > 0 {
+		ref := s.window.front()
+		op := s.op(ref)
 		if !op.completed(s.cycle, s.ready) {
 			break
 		}
-		s.window = s.window[1:]
+		s.window.popFront()
 		s.prf.Release(op.res.Dest)
 		for _, p := range op.res.Deps {
 			s.prf.Release(p)
@@ -246,6 +359,13 @@ func (s *Session) retire() {
 		if s.onRetire != nil {
 			s.onRetire(op, s.cycle)
 		}
+		// A retiring store leaves the store-to-load dependence map
+		// (unless a younger store to the same address replaced it);
+		// after this the op is unreachable and safe to recycle.
+		if op.d.Inst.Op.IsStore() && s.lastStore[op.d.Addr] == ref {
+			delete(s.lastStore, op.d.Addr)
+		}
+		s.freeOp(ref)
 		n++
 	}
 }
@@ -253,22 +373,17 @@ func (s *Session) retire() {
 // complete processes execution completions scheduled for this cycle:
 // value feedback dispatch and branch resolution redirects.
 func (s *Session) complete() {
-	ops := s.completions[s.cycle]
-	if ops == nil {
-		return
-	}
-	delete(s.completions, s.cycle)
-	for _, op := range ops {
+	for _, ref := range s.completions.take(s.cycle) {
+		op := s.op(ref)
 		if op.res.Dest != regfile.NoPReg && s.cfg.Opt.Mode != core.ModeBaseline {
 			// The in-flight feedback value holds a reference so the preg
 			// cannot be freed and reallocated before delivery.
 			s.prf.AddRef(op.res.Dest)
-			t := s.cycle + s.cfg.FeedbackDelay
-			s.feedbackQ[t] = append(s.feedbackQ[t], feedbackEv{op.res.Dest, op.d.Result})
+			s.feedbackQ.schedule(s.cycle, s.cycle+s.cfg.FeedbackDelay, feedbackEv{op.res.Dest, op.d.Result})
 		}
 		if op.stallsFetch && !op.resolvedEarly {
 			s.fetchResumeAt = s.cycle + s.cfg.RedirectLat
-			s.stalling = nil
+			s.stalling = noOp
 			s.res.LateRecovered++
 		}
 	}
@@ -321,16 +436,20 @@ func (s *Session) issue() {
 	portsLeft := s.cfg.DCachePorts
 
 	for cls := schedInt; cls < numScheds; cls++ {
-		left := units[cls]
 		q := s.scheds[cls]
+		if len(q) == 0 {
+			continue
+		}
+		left := units[cls]
 		kept := q[:0]
-		for _, op := range q {
+		for _, ref := range q {
 			if left == 0 {
-				kept = append(kept, op)
+				kept = append(kept, ref)
 				continue
 			}
+			op := s.op(ref)
 			if !s.canIssue(op, &agenLeft, &portsLeft) {
-				kept = append(kept, op)
+				kept = append(kept, ref)
 				continue
 			}
 			op.issued = true
@@ -339,7 +458,7 @@ func (s *Session) issue() {
 			if op.res.Dest != regfile.NoPReg {
 				s.ready[op.res.Dest] = op.doneAt
 			}
-			s.completions[op.doneAt] = append(s.completions[op.doneAt], op)
+			s.completions.schedule(s.cycle, op.doneAt, ref)
 			left--
 		}
 		// Preserve queue order for age-based selection.
@@ -360,9 +479,18 @@ func (s *Session) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
 	}
 	// A load forwarding from an in-flight store waits for the store's
 	// data (store-to-load forwarding latency is folded into the load's
-	// own access latency).
-	if op.memDep != nil && (op.memDep.doneAt == notReady || op.memDep.doneAt > execStart) {
-		return false
+	// own access latency). A generation mismatch means the store has
+	// retired (its arena slot was recycled); a retired store completed
+	// no later than its retirement cycle <= now < execStart, so the
+	// dependence is satisfied — identical timing to the frozen doneAt
+	// the pre-arena heap op would have reported.
+	if op.memDep != noOp {
+		dep := s.op(op.memDep)
+		if dep.gen != op.memDepGen {
+			op.memDep = noOp
+		} else if dep.doneAt == notReady || dep.doneAt > execStart {
+			return false
+		}
 	}
 	in := op.d.Inst
 	if in.Op.IsLoad() {
@@ -389,12 +517,13 @@ func (s *Session) canIssue(op *dynOp, agenLeft, portsLeft *int) bool {
 // dispatch moves renamed instructions into the window and schedulers.
 func (s *Session) dispatch() {
 	n := 0
-	for n < s.cfg.FetchWidth && len(s.renQ) > 0 {
-		op := s.renQ[0]
+	for n < s.cfg.FetchWidth && s.renQ.len() > 0 {
+		ref := s.renQ.front()
+		op := s.op(ref)
 		if op.renameDoneAt+s.cfg.DispatchLat > s.cycle {
 			break
 		}
-		if len(s.window) >= s.cfg.WindowSize {
+		if s.window.len() >= s.cfg.WindowSize {
 			s.res.WindowStalls++
 			break
 		}
@@ -403,11 +532,11 @@ func (s *Session) dispatch() {
 				s.res.SchedStalls++
 				break
 			}
-			s.scheds[op.sched] = append(s.scheds[op.sched], op)
+			s.scheds[op.sched] = append(s.scheds[op.sched], ref)
 		}
 		op.dispatchedAt = s.cycle
-		s.window = append(s.window, op)
-		s.renQ = s.renQ[1:]
+		s.window.push(ref)
+		s.renQ.popFront()
 		n++
 	}
 }
@@ -416,25 +545,20 @@ func (s *Session) dispatch() {
 // instructions, after applying any value feedback due this cycle.
 func (s *Session) rename() {
 	// Deliver value feedback that has arrived at the optimizer tables.
-	if evs, ok := s.feedbackQ[s.cycle]; ok {
-		delete(s.feedbackQ, s.cycle)
-		for _, ev := range evs {
-			s.opt.Feedback(ev.preg, ev.val)
-			s.prf.Release(ev.preg)
-		}
+	for _, ev := range s.feedbackQ.take(s.cycle) {
+		s.opt.Feedback(ev.preg, ev.val)
+		s.prf.Release(ev.preg)
 	}
 
-	if len(s.fetchQ) == 0 {
+	if s.fetchQ.len() == 0 {
 		return
 	}
 	s.opt.BeginBundle()
 	renameDone := s.cycle + s.cfg.totalRenameLat()
-	// The rename output buffer must cover the rename+dispatch latency or
-	// it throttles throughput below the machine width.
-	renQCap := s.cfg.FetchWidth * int(s.cfg.totalRenameLat()+s.cfg.DispatchLat+2)
 	n := 0
-	for n < s.cfg.FetchWidth && len(s.fetchQ) > 0 && len(s.renQ) < renQCap {
-		op := s.fetchQ[0]
+	for n < s.cfg.FetchWidth && s.fetchQ.len() > 0 && s.renQ.len() < s.renQCap {
+		ref := s.fetchQ.front()
+		op := s.op(ref)
 		if op.frontReadyAt > s.cycle {
 			break
 		}
@@ -442,16 +566,18 @@ func (s *Session) rename() {
 			s.res.RegStalls++
 			break
 		}
-		op.res = s.opt.Rename(op.d)
+		op.res = s.opt.RenameInto(&op.d, op.depbuf[:0])
 		op.renameDoneAt = renameDone
 		op.doneAt = notReady
 		op.sched = schedOf(op.res.ExecClass)
 		// Memory dependences: loads forward from the youngest older
 		// store to the same address that is still in flight.
 		if op.d.Inst.Op.IsStore() {
-			s.lastStore[op.d.Addr] = op
+			s.lastStore[op.d.Addr] = ref
 		} else if op.d.Inst.Op.IsLoad() && op.res.Kind == core.KindNormal {
-			op.memDep = s.lastStore[op.d.Addr] // nil if none
+			if dep, ok := s.lastStore[op.d.Addr]; ok {
+				op.memDep, op.memDepGen = dep, s.op(dep).gen
+			}
 		}
 		switch op.res.Kind {
 		case core.KindEarly:
@@ -469,11 +595,11 @@ func (s *Session) rename() {
 		if op.stallsFetch && op.res.BranchResolved {
 			op.resolvedEarly = true
 			s.fetchResumeAt = renameDone
-			s.stalling = nil
+			s.stalling = noOp
 			s.res.EarlyRecovered++
 		}
-		s.fetchQ = s.fetchQ[1:]
-		s.renQ = append(s.renQ, op)
+		s.fetchQ.popFront()
+		s.renQ.push(ref)
 		n++
 	}
 }
@@ -484,39 +610,42 @@ func (s *Session) fetch() {
 	if s.fetchDone || s.cycle < s.fetchBlockedAt {
 		return
 	}
-	if s.stalling != nil || s.cycle < s.fetchResumeAt {
+	if s.stalling != noOp || s.cycle < s.fetchResumeAt {
 		return
 	}
 	// The fetch buffer must cover the front-end latency at full width.
-	if len(s.fetchQ) >= s.cfg.FetchWidth*int(s.cfg.FrontLat+2) {
+	if s.fetchQ.len() >= s.cfg.FetchWidth*int(s.cfg.FrontLat+2) {
 		return
 	}
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		d := s.oracle.Step()
-		if d == nil {
+		ref := s.newOp()
+		op := s.op(ref)
+		if !s.oracle.StepInto(&op.d) {
+			s.freeOp(ref)
 			s.fetchDone = true
 			return
 		}
+		d := &op.d
 		s.fetched++
 
 		// Instruction cache: one access per new line.
 		const instBytes = 4
-		lineB := uint64(s.caches.L1I.Config().LineB)
 		addr := d.PC * instBytes
-		line := addr &^ (lineB - 1)
+		line := addr &^ (s.lineB - 1)
 		extra := uint64(0)
 		if line != s.lastLine {
 			lat := s.caches.InstFetch(addr)
 			s.lastLine = line
-			if lat > s.caches.L1I.Latency() {
-				extra = lat - s.caches.L1I.Latency()
+			if lat > s.l1iLat {
+				extra = lat - s.l1iLat
 			}
 			// Next-line prefetch: the front end streams the sequential
 			// line behind the demand fetch, hiding its latency.
-			s.caches.InstFetch(addr + lineB)
+			s.caches.InstFetch(addr + s.lineB)
 		}
-		op := &dynOp{d: d, frontReadyAt: s.cycle + s.cfg.FrontLat + extra, doneAt: notReady}
-		s.fetchQ = append(s.fetchQ, op)
+		op.frontReadyAt = s.cycle + s.cfg.FrontLat + extra
+		op.doneAt = notReady
+		s.fetchQ.push(ref)
 
 		if d.Halt || (s.cfg.MaxInsts > 0 && s.fetched >= s.cfg.MaxInsts) {
 			s.fetchDone = true
@@ -532,7 +661,7 @@ func (s *Session) fetch() {
 		if !in.Op.IsBranch() {
 			continue
 		}
-		if s.handleBranch(op) {
+		if s.handleBranch(ref) {
 			return // fetch stalled or redirected
 		}
 		if d.Taken {
@@ -544,8 +673,9 @@ func (s *Session) fetch() {
 
 // handleBranch predicts and trains the front end for a branch op and
 // reports whether fetch must stop this cycle beyond the branch.
-func (s *Session) handleBranch(op *dynOp) bool {
-	d := op.d
+func (s *Session) handleBranch(ref opRef) bool {
+	op := s.op(ref)
+	d := &op.d
 	in := d.Inst
 	isReturn := in.Op == isa.JMP && in.SrcA == isa.IntReg(26)
 	pred := s.bp.Predict(d.PC, in.Op, isReturn)
@@ -571,7 +701,7 @@ func (s *Session) handleBranch(op *dynOp) bool {
 	// else at execute).
 	op.mispredicted = true
 	op.stallsFetch = true
-	s.stalling = op
+	s.stalling = ref
 	s.fetchResumeAt = notReady
 	s.res.Mispredicted++
 	return true

@@ -195,7 +195,7 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 		s.dispatch()
 		s.rename()
 		s.fetch()
-		s.windowOccSum += uint64(len(s.window))
+		s.windowOccSum += uint64(s.window.len())
 		for c := schedInt; c < numScheds; c++ {
 			s.schedOccSum += uint64(len(s.scheds[c]))
 		}
@@ -215,7 +215,7 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 			lastProgress = s.cycle
 		} else if s.cycle-lastProgress > noProgressLimit {
 			return nil, fmt.Errorf("pipeline: no retirement progress for %d cycles at cycle %d (%s/%s): window=%d fetchQ=%d renQ=%d",
-				noProgressLimit, s.cycle, s.res.Machine, s.res.Program, len(s.window), len(s.fetchQ), len(s.renQ))
+				noProgressLimit, s.cycle, s.res.Machine, s.res.Program, s.window.len(), s.fetchQ.len(), s.renQ.len())
 		}
 	}
 	if opts.Interval > 0 && s.cycle > ivStart {
@@ -252,12 +252,7 @@ func (s *Session) Run(ctx context.Context, opts RunOpts) (*Result, error) {
 		// zero. A truncated run keeps its in-flight state (the window
 		// still holds references), so the release only applies to
 		// complete runs.
-		for t, evs := range s.feedbackQ {
-			for _, ev := range evs {
-				s.prf.Release(ev.preg)
-			}
-			delete(s.feedbackQ, t)
-		}
+		s.feedbackQ.drain(func(ev feedbackEv) { s.prf.Release(ev.preg) })
 		s.opt.ReleaseAll()
 	}
 	return &s.res, nil

@@ -1,0 +1,151 @@
+package pipeline
+
+// This file holds the allocation-free substrate of the cycle loop: a
+// fixed-horizon event wheel (replacing the per-cycle completion and
+// feedback maps) and a power-of-two ring queue (replacing head-pop
+// slicing of the fetch/rename/window queues). Both recycle their
+// backing storage for the whole run, so the steady-state loop performs
+// no heap allocation and no map hashing.
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// wheel is a fixed-horizon timing wheel: an event scheduled fewer than
+// `horizon` cycles ahead lands in the ring slot `at & mask`; anything
+// further out (a pathological latency the horizon was not sized for)
+// spills into a lazily allocated map. The horizon invariant — every
+// in-flight event's fire time is less than one horizon ahead of the
+// current cycle — guarantees each slot holds events for exactly one
+// fire cycle, so take never has to filter. Slot slices are reset to
+// length zero on take and their backing arrays reused, so a wheel
+// allocates only while slots grow toward their steady-state size.
+type wheel[T any] struct {
+	slots   [][]T
+	mask    uint64
+	spill   map[uint64][]T // nil until the first overflow
+	spilled int
+}
+
+func newWheel[T any](horizon int) wheel[T] {
+	h := nextPow2(horizon)
+	return wheel[T]{slots: make([][]T, h), mask: uint64(h - 1)}
+}
+
+// schedule adds an event firing at cycle at; now is the current cycle
+// and must satisfy now <= at.
+func (w *wheel[T]) schedule(now, at uint64, ev T) {
+	if at-now < uint64(len(w.slots)) {
+		i := at & w.mask
+		w.slots[i] = append(w.slots[i], ev)
+		return
+	}
+	if w.spill == nil {
+		w.spill = make(map[uint64][]T)
+	}
+	w.spill[at] = append(w.spill[at], ev)
+	w.spilled++
+}
+
+// take removes and returns the events due at cycle now. The returned
+// slice aliases wheel-owned storage: it is valid until an event is
+// scheduled a full horizon later (impossible within the current cycle,
+// since such an event would spill), so callers must consume it before
+// advancing the cycle and must not retain it.
+func (w *wheel[T]) take(now uint64) []T {
+	i := now & w.mask
+	evs := w.slots[i]
+	if len(evs) == 0 && w.spilled == 0 {
+		// Fast path for the overwhelmingly common empty cycle: no
+		// slice-header store, no map probe.
+		return nil
+	}
+	w.slots[i] = evs[:0]
+	if w.spilled > 0 {
+		if sp, ok := w.spill[now]; ok {
+			evs = append(evs, sp...)
+			w.spilled -= len(sp)
+			delete(w.spill, now)
+		}
+	}
+	return evs
+}
+
+// pending returns the total number of scheduled, untaken events.
+func (w *wheel[T]) pending() int {
+	n := w.spilled
+	for i := range w.slots {
+		n += len(w.slots[i])
+	}
+	return n
+}
+
+// drain removes every scheduled event, in no particular order, handing
+// each to fn. Used at end of run to release references still held by
+// in-flight events.
+func (w *wheel[T]) drain(fn func(T)) {
+	for i := range w.slots {
+		for _, ev := range w.slots[i] {
+			fn(ev)
+		}
+		w.slots[i] = w.slots[i][:0]
+	}
+	for at, evs := range w.spill {
+		for _, ev := range evs {
+			fn(ev)
+		}
+		delete(w.spill, at)
+	}
+	w.spilled = 0
+}
+
+// opRing is a growable power-of-two circular queue of in-flight op
+// references. Unlike the previous `q = q[1:]` head-pop slices, popping
+// advances an index into a stable backing array, so a run-long queue
+// never leaks capacity or churns allocations. Holding opRefs rather
+// than *dynOp pointers keeps the queues pointer-free: pushing an op is
+// an int32 store with no GC write barrier.
+type opRing struct {
+	buf  []opRef
+	head int
+	n    int
+}
+
+func newOpRing(capacity int) opRing {
+	return opRing{buf: make([]opRef, nextPow2(capacity))}
+}
+
+func (r *opRing) len() int { return r.n }
+
+func (r *opRing) push(op opRef) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = op
+	r.n++
+}
+
+// front returns the oldest op; the ring must be non-empty.
+func (r *opRing) front() opRef { return r.buf[r.head] }
+
+// popFront removes and returns the oldest op; the ring must be
+// non-empty.
+func (r *opRing) popFront() opRef {
+	op := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return op
+}
+
+func (r *opRing) grow() {
+	nb := make([]opRef, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
