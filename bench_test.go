@@ -19,9 +19,11 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/exper"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/regfile"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -194,31 +196,130 @@ func BenchmarkEmulator(b *testing.B) {
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
 }
 
-// BenchmarkPipelineBaseline measures cycle-level simulation speed
-// without the optimizer.
-func BenchmarkPipelineBaseline(b *testing.B) {
+// benchPipeline measures cycle-level simulation speed for one machine
+// configuration. Session construction (register file, wheel, predictor
+// arrays) is hoisted out of the timed region with StopTimer/StartTimer
+// so ns/op and allocs/op describe the simulation loop itself — the
+// steady state that dominates any real run — not per-run setup.
+func benchPipeline(b *testing.B, cfg pipeline.Config) {
+	b.Helper()
 	bench, _ := workloads.ByName("mcf")
 	prog := bench.Program(benchScale)
 	b.ResetTimer()
 	var res *pipeline.Result
 	for i := 0; i < b.N; i++ {
-		res = pipeline.Run(pipeline.DefaultConfig().Baseline(), prog)
+		b.StopTimer()
+		s, err := pipeline.New(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err = s.Run(context.Background(), pipeline.RunOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(res.Retired)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkPipelineBaseline measures cycle-level simulation speed
+// without the optimizer.
+func BenchmarkPipelineBaseline(b *testing.B) {
+	benchPipeline(b, pipeline.DefaultConfig().Baseline())
 }
 
 // BenchmarkPipelineOptimized measures cycle-level simulation speed with
 // the continuous optimizer.
 func BenchmarkPipelineOptimized(b *testing.B) {
-	bench, _ := workloads.ByName("mcf")
-	prog := bench.Program(benchScale)
-	b.ResetTimer()
-	var res *pipeline.Result
-	for i := 0; i < b.N; i++ {
-		res = pipeline.Run(pipeline.DefaultConfig(), prog)
-	}
-	b.ReportMetric(float64(res.Retired)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+	benchPipeline(b, pipeline.DefaultConfig())
 }
+
+// --- Sweep-level benchmarks of the decode-once engine ---
+
+// sweepBenchConfigs builds n distinct machine configurations — a
+// Figure 8-style config axis over one benchmark, the shape of a sweep
+// cell.
+func sweepBenchConfigs(n int) []pipeline.Config {
+	cfgs := make([]pipeline.Config, n)
+	for i := range cfgs {
+		cfg := pipeline.DefaultConfig()
+		cfg.WindowSize = 64 + 4*i
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// benchSweepExact times a 30-config exact sweep cell over mcf. With
+// the default budget the engine records the architectural stream once
+// and replays it into all 30 timing passes; with budget 0 every
+// configuration drives its own live emulator (the pre-decode-once
+// engine). The runner is rebuilt each iteration so every iteration
+// pays the full cold-cell cost.
+func benchSweepExact(b *testing.B, budget int64) {
+	b.Helper()
+	bench, _ := workloads.ByName("mcf")
+	cfgs := sweepBenchConfigs(30)
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := exper.NewRunner(0)
+		r.SetTraceBudget(budget)
+		b.StartTimer()
+		retired = 0
+		for _, cfg := range cfgs {
+			res, err := r.Run(context.Background(), cfg, bench, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			retired += res.Retired
+		}
+	}
+	b.ReportMetric(float64(retired)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func BenchmarkSweepExactReplay(b *testing.B) { benchSweepExact(b, exper.DefaultTraceBudget) }
+func BenchmarkSweepExactLive(b *testing.B)   { benchSweepExact(b, 0) }
+
+// sweepSampledScale sizes the sampled sweep workload (mgd) to ~4.5M
+// dynamic instructions, where the whole-program fast-forward dominates
+// per-configuration sampled-run cost — the regime sampled simulation
+// exists for, and the one where sharing the window plan across the
+// config axis pays.
+const sweepSampledScale = 64
+
+// benchSweepSampled times a 30-config sampled sweep cell over mgd.
+// With the default budget the fast-forward and per-window checkpoints
+// are built once and shared by all 30 configurations; with budget 0
+// every configuration fast-forwards the whole program itself (the
+// pre-decode-once engine). insts/s counts architecturally represented
+// instructions — the throughput sampled simulation is buying.
+func benchSweepSampled(b *testing.B, budget int64) {
+	b.Helper()
+	bench, _ := workloads.ByName("mgd")
+	cfgs := sweepBenchConfigs(30)
+	sc := sample.DefaultConfig()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := exper.NewRunner(0)
+		r.SetTraceBudget(budget)
+		b.StartTimer()
+		total = 0
+		for _, cfg := range cfgs {
+			res, err := r.RunSampled(context.Background(), cfg, bench, sweepSampledScale, sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.TotalInsts
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func BenchmarkSweepSampledPlanned(b *testing.B)   { benchSweepSampled(b, exper.DefaultTraceBudget) }
+func BenchmarkSweepSampledPerConfig(b *testing.B) { benchSweepSampled(b, 0) }
 
 // BenchmarkOptimizerRename isolates the rename/optimize stage: one
 // instruction stream renamed with full optimization, no timing model.

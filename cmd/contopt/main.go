@@ -33,11 +33,21 @@
 // the sampled estimator — the program fast-forwards through the
 // functional emulator and only periodic detailed windows run in the
 // cycle-level model (see internal/sample). -sample-period,
-// -sample-warmup and -sample-window tune the regime; "sample-check"
-// reports the estimator's error against exact runs and fails when any
-// benchmark's speedup error exceeds -tolerance. -progress telemetry
-// covers exact simulations only — sampled detailed windows are far
-// shorter than one telemetry interval.
+// -sample-warmup and -sample-window tune the regime; -window-workers
+// bounds how many detailed windows run concurrently (estimates are
+// identical for any worker count); "sample-check" reports the
+// estimator's error against exact runs and fails when any benchmark's
+// speedup error exceeds -tolerance. -progress telemetry covers exact
+// simulations only — sampled detailed windows are far shorter than one
+// telemetry interval.
+//
+// Decode-once replay: the engine records each workload's dynamic
+// instruction stream once and replays it for every machine
+// configuration (and caches each sampled run's window plan the same
+// way), so an N-config sweep cell pays for one architectural pass
+// instead of N — with byte-identical results. -trace-cache bounds the
+// resident bytes of these caches in MiB (LRU eviction; 0 disables
+// replay entirely); -v reports records, replays and resident bytes.
 //
 // Persistent store: -store DIR (or the CONTOPT_STORE environment
 // variable) backs the engine with the on-disk result store
@@ -57,6 +67,8 @@
 //	-timeout D        abort the whole command after duration D (0 = none)
 //	-progress         stream per-interval simulation progress to stderr
 //	-v                verbose: engine cache statistics; instruction counts on list
+//	-trace-cache MB   decode-once trace/plan cache budget (0 = disable replay)
+//	-window-workers N concurrent detailed windows per sampled run (0 = GOMAXPROCS)
 //	-sample           estimate via sampled simulation instead of exact runs
 //	-sample-period N  instructions between detailed-window starts
 //	-sample-warmup N  detailed warmup instructions per window (stats discarded)
@@ -113,6 +125,8 @@ func run(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the whole command after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-interval simulation progress to stderr")
 	verbose := fs.Bool("v", false, "verbose: engine cache statistics; instruction counts on list")
+	traceCache := fs.Int("trace-cache", exper.DefaultTraceBudget>>20, "decode-once trace/plan cache budget in MiB (0 = disable replay)")
+	windowWorkers := fs.Int("window-workers", 0, "concurrent detailed windows per sampled run (0 = GOMAXPROCS)")
 	sampled := fs.Bool("sample", false, "estimate via sampled simulation instead of exact runs")
 	samplePeriod := fs.Uint64("sample-period", 0, "instructions between detailed-window starts (0 = default)")
 	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per window, stats discarded (0 = default)")
@@ -179,6 +193,7 @@ func run(ctx context.Context, args []string) error {
 		if *sampleWindow != 0 {
 			sc.Window = *sampleWindow
 		}
+		sc.Workers = *windowWorkers
 		if err := sc.Validate(); err != nil {
 			return err
 		}
@@ -198,6 +213,7 @@ func run(ctx context.Context, args []string) error {
 	// resimulated, and everything computed here is persisted for later
 	// ones.
 	engine := exper.NewRunner(*parallel)
+	engine.SetTraceBudget(int64(*traceCache) << 20)
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -217,6 +233,8 @@ func run(ctx context.Context, args []string) error {
 			st := engine.Stats()
 			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memory hits, %d store hits\n",
 				st.Simulations, st.MemHits, st.StoreHits)
+			fmt.Fprintf(os.Stderr, "engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused; %.1f MiB resident\n",
+				st.TraceRecords, st.TraceHits, st.PlanBuilds, st.PlanHits, float64(st.TraceBytes)/(1<<20))
 		}()
 	}
 	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine, Sample: sampleCfg}
@@ -547,6 +565,7 @@ commands:
   all         run every experiment (shared result cache across artifacts)
 
 flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
+       -trace-cache MB, -window-workers N,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
        -tolerance PCT and -check-ipc (sample-check),
        -cpuprofile F, -memprofile F (any command)

@@ -340,12 +340,14 @@ func TestStoreSubcommand(t *testing.T) {
 			t.Errorf("store ls missing %q:\n%s", want, ls)
 		}
 	}
+	// An exact run stores its two results plus the instruction count
+	// the trace recording established (free seed for sampled runs).
 	stat := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "stat"}) })
-	if !strings.Contains(stat, "2 entries") || !strings.Contains(stat, "2 exact") {
+	if !strings.Contains(stat, "3 entries") || !strings.Contains(stat, "2 exact") || !strings.Contains(stat, "1 counts") {
 		t.Errorf("store stat: %s", stat)
 	}
 	vout := capture(t, func() error { return run(context.Background(), []string{"store", "-store", dir, "verify"}) })
-	if !strings.Contains(vout, "2 entries verified, 0 corrupt") {
+	if !strings.Contains(vout, "3 entries verified, 0 corrupt") {
 		t.Errorf("store verify: %s", vout)
 	}
 

@@ -49,9 +49,23 @@ type Runner struct {
 	wmu   sync.Mutex
 	wkeys map[countKey]string
 
-	memHits   atomic.Uint64
-	storeHits atomic.Uint64
-	runs      atomic.Uint64
+	// Decode-once caches (see trace.go): recorded traces per
+	// (benchmark, scale) and sampled-run plans per (benchmark, scale,
+	// regime), sharing one byte budget and LRU clock under tmu.
+	tmu         sync.Mutex
+	traces      map[countKey]*cacheEntry
+	plans       map[planKey]*cacheEntry
+	traceBudget int64
+	traceBytes  int64
+	traceClock  uint64
+
+	memHits      atomic.Uint64
+	storeHits    atomic.Uint64
+	runs         atomic.Uint64
+	traceHits    atomic.Uint64
+	traceRecords atomic.Uint64
+	planHits     atomic.Uint64
+	planBuilds   atomic.Uint64
 }
 
 type simKey struct {
@@ -152,6 +166,9 @@ func NewRunner(parallelism int) *Runner {
 		sampled:       map[sampleKey]*flight[*sample.Result]{},
 		counts:        map[countKey]*flight[uint64]{},
 		wkeys:         map[countKey]string{},
+		traces:        map[countKey]*cacheEntry{},
+		plans:         map[planKey]*cacheEntry{},
+		traceBudget:   DefaultTraceBudget,
 		progressEvery: DefaultProgressInterval,
 	}
 }
@@ -179,18 +196,43 @@ func (r *Runner) SetStore(st *store.Store) {
 // counts cache misses answered by the persistent store without
 // simulating (always 0 without SetStore). A warm resumed sweep is the
 // pattern {Simulations: 0, StoreHits: n}.
+//
+// The decode-once counters measure the trace/plan layer: TraceRecords
+// and PlanBuilds are the architectural passes actually paid
+// (recording a dynamic stream; building a sampled window plan), and
+// TraceHits/PlanHits the simulations that reused one — a 30-config
+// sweep cell at full effectiveness is {TraceRecords: 1, TraceHits:
+// 29}. TraceBytes is the resident size of both caches right now,
+// bounded by SetTraceBudget.
 type Stats struct {
 	Simulations uint64
 	MemHits     uint64
 	StoreHits   uint64
+
+	TraceRecords uint64
+	TraceHits    uint64
+	PlanBuilds   uint64
+	PlanHits     uint64
+	TraceBytes   uint64
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
+	r.tmu.Lock()
+	resident := r.traceBytes
+	r.tmu.Unlock()
+	if resident < 0 {
+		resident = 0
+	}
 	return Stats{
-		Simulations: r.runs.Load(),
-		MemHits:     r.memHits.Load(),
-		StoreHits:   r.storeHits.Load(),
+		Simulations:  r.runs.Load(),
+		MemHits:      r.memHits.Load(),
+		StoreHits:    r.storeHits.Load(),
+		TraceRecords: r.traceRecords.Load(),
+		TraceHits:    r.traceHits.Load(),
+		PlanBuilds:   r.planBuilds.Load(),
+		PlanHits:     r.planHits.Load(),
+		TraceBytes:   uint64(resident),
 	}
 }
 
@@ -364,7 +406,12 @@ func (r *Runner) Run(ctx context.Context, cfg pipeline.Config, bench *workloads.
 	return res, err
 }
 
-// simulate runs one simulation under the worker pool.
+// simulate runs one simulation under the worker pool. The timing
+// session replays the workload's cached trace when the decode-once
+// layer has (or can record) one — byte-for-byte identical results,
+// minus the per-config live emulation — and falls back to a live
+// emulator when the trace layer is disabled or the program exceeds
+// the budget.
 func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workloads.Benchmark, scale int) (*pipeline.Result, error) {
 	select {
 	case r.sem <- struct{}{}:
@@ -373,7 +420,17 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workl
 	}
 	defer func() { <-r.sem }()
 	r.runs.Add(1)
-	s, err := pipeline.New(cfg, bench.Program(scale))
+	prog := bench.Program(scale)
+	tr, err := r.traceFor(ctx, bench, scale)
+	if err != nil {
+		return nil, err
+	}
+	var s *pipeline.Session
+	if tr != nil {
+		s, err = pipeline.NewReplay(cfg, prog, tr)
+	} else {
+		s, err = pipeline.New(cfg, prog)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +473,8 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 		}
 		// The counting pre-pass is shared: InstCount is memoized per
 		// (benchmark, scale), so every machine configuration sampling
-		// the same workload reuses one emulation of it.
+		// the same workload reuses one emulation of it. (Acquired
+		// before the pool slot below — InstCount takes its own slot.)
 		total, err := r.InstCount(ctx, bench, scale)
 		if err != nil {
 			return nil, err
@@ -428,7 +486,19 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 		}
 		defer func() { <-r.sem }()
 		r.runs.Add(1)
-		sr, err := sample.RunTotal(ctx, cfg, bench.Program(scale), sc, total)
+		// The window plan (fast-forward + per-window checkpoints) is
+		// config-independent: build it once per (benchmark, scale,
+		// regime) and share it across every configuration of a sweep.
+		plan, err := r.planFor(ctx, bench, scale, sc, total)
+		if err != nil {
+			return nil, err
+		}
+		var sr *sample.Result
+		if plan != nil {
+			sr, err = sample.RunPlanned(ctx, cfg, bench.Program(scale), sc, plan)
+		} else {
+			sr, err = sample.RunTotal(ctx, cfg, bench.Program(scale), sc, total)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -73,6 +73,57 @@ func TestRunSteadyStateAllocationFree(t *testing.T) {
 	}
 }
 
+// replayAllocs is runAllocs over the trace-replay fetch path: the trace
+// is recorded once outside the measured region, so the figure is the
+// marginal cost of one timing pass over a shared buffer.
+func replayAllocs(t *testing.T, cfg Config, prog *emu.Program) (allocs float64, retired uint64) {
+	t.Helper()
+	tr, err := emu.Record(context.Background(), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	allocs = testing.AllocsPerRun(3, func() {
+		s, err := NewReplay(cfg, prog, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(context.Background(), RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	return allocs, res.Retired
+}
+
+// TestReplaySteadyStateAllocationFree extends the allocation gate to
+// the trace-replay fetch path: timing a pre-recorded stream must add ~0
+// marginal allocations per retired instruction, same bound as the live
+// path — replay swaps the stream source, not the cycle loop.
+func TestReplaySteadyStateAllocationFree(t *testing.T) {
+	short, err := asm.Assemble("alloc-short", loopProg(100, allocBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := asm.Assemble("alloc-long", loopProg(3000, allocBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{DefaultConfig(), DefaultConfig().Baseline()} {
+		aShort, rShort := replayAllocs(t, cfg, short)
+		aLong, rLong := replayAllocs(t, cfg, long)
+		extraInsts := float64(rLong - rShort)
+		perInst := (aLong - aShort) / extraInsts
+		t.Logf("%s replay: %.0f allocs @ %d insts, %.0f allocs @ %d insts -> %.5f allocs/inst",
+			cfg.Name, aShort, rShort, aLong, rLong, perInst)
+		if perInst > 0.01 {
+			t.Errorf("%s: %.4f allocations per retired instruction replaying a trace, want ~0",
+				cfg.Name, perInst)
+		}
+	}
+}
+
 // TestLastStoreEvicted checks the store-dependence map is bounded by
 // the in-flight window rather than the run's store footprint: after a
 // run that stores to thousands of distinct addresses, the map must be

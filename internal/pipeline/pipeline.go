@@ -114,7 +114,7 @@ func (op *dynOp) completed(now uint64, ready []uint64) bool {
 // it) and not safe for concurrent use.
 type Session struct {
 	cfg    Config
-	oracle *emu.Machine
+	src    Source
 	prf    *regfile.File
 	opt    *core.Optimizer
 	bp     *bpred.Predictor
@@ -183,7 +183,7 @@ type feedbackEv struct {
 // normalized (a zero Config means the default machine) and validated;
 // an invalid config is reported as an error rather than a panic.
 func New(cfg Config, prog *emu.Program) (*Session, error) {
-	return newSession(cfg, prog, nil, WarmState{})
+	return newSession(cfg, prog, nil, nil, WarmState{})
 }
 
 // NewFromCheckpoint builds a session whose oracle resumes prog at the
@@ -209,27 +209,33 @@ func NewFromCheckpoint(cfg Config, prog *emu.Program, ck *emu.Checkpoint) (*Sess
 	if ck.Halted {
 		return nil, fmt.Errorf("pipeline: checkpoint of %q is already halted", ck.Program)
 	}
-	return newSession(cfg, prog, ck, WarmState{})
+	return newSession(cfg, prog, nil, ck, WarmState{})
 }
 
-func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState) (*Session, error) {
+// newSession builds a session over the given dynamic-stream source. A
+// nil src means "drive a live emulator": fresh from the program entry
+// point, or resumed from ck when one is given. A non-nil src (a trace
+// replay cursor) is used as-is and ck must be nil — replay always
+// covers the whole recorded stream.
+func newSession(cfg Config, prog *emu.Program, src Source, ck *emu.Checkpoint, ws WarmState) (*Session, error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var (
-		oracle   *emu.Machine
-		initRegs *[isa.NumRegs]uint64
-	)
+	var initRegs *[isa.NumRegs]uint64
+	if src == nil {
+		if ck != nil {
+			src = emu.NewAt(prog, ck)
+		} else {
+			src = emu.New(prog)
+		}
+	}
 	if ck != nil {
-		oracle = emu.NewAt(prog, ck)
 		// The rename tables must believe the checkpoint's register
 		// values, not the reset zeros, or optimizer verification
 		// (rightly) rejects the seeded state.
 		regs := ck.Regs
 		initRegs = &regs
-	} else {
-		oracle = emu.New(prog)
 	}
 	prf := regfile.New(cfg.PRegs)
 	bp := ws.bp
@@ -255,7 +261,7 @@ func newSession(cfg Config, prog *emu.Program, ck *emu.Checkpoint, ws WarmState)
 	fetchCap := cfg.FetchWidth * int(cfg.FrontLat+2)
 	s := &Session{
 		cfg:         cfg,
-		oracle:      oracle,
+		src:         src,
 		prf:         prf,
 		opt:         core.NewOptimizerAt(cfg.Opt, prf, initRegs),
 		bp:          bp,
@@ -604,8 +610,9 @@ func (s *Session) rename() {
 	}
 }
 
-// fetch pulls correct-path instructions from the oracle, consulting the
-// branch predictor and I-cache and stalling on mispredictions.
+// fetch pulls correct-path instructions from the dynamic-stream source
+// (live oracle or trace replay), consulting the branch predictor and
+// I-cache and stalling on mispredictions.
 func (s *Session) fetch() {
 	if s.fetchDone || s.cycle < s.fetchBlockedAt {
 		return
@@ -620,7 +627,7 @@ func (s *Session) fetch() {
 	for n := 0; n < s.cfg.FetchWidth; n++ {
 		ref := s.newOp()
 		op := s.op(ref)
-		if !s.oracle.StepInto(&op.d) {
+		if !s.src.StepInto(&op.d) {
 			s.freeOp(ref)
 			s.fetchDone = true
 			return

@@ -1,0 +1,121 @@
+package pipeline_test
+
+// Cross-mode determinism tests for trace replay: a session fetching
+// from a recorded trace must be indistinguishable, result for result,
+// from one driving a live emulator.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// TestReplayMatchesLiveEveryBenchmark is the satellite determinism
+// gate: for every Figure-6 benchmark, under both machine models, a
+// trace-replay session produces a Result identical to a live session's.
+// This is what licenses the engine to substitute replay for live
+// emulation by default — if the timing model consumed anything beyond
+// the DynInst stream, this would catch it.
+func TestReplayMatchesLiveEveryBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every benchmark twice per config")
+	}
+	configs := []pipeline.Config{
+		pipeline.DefaultConfig(),
+		pipeline.DefaultConfig().Baseline(),
+	}
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog := b.Program(1)
+			tr, err := emu.Record(context.Background(), prog, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range configs {
+				live, err := mustRun(pipeline.New(cfg, prog))
+				if err != nil {
+					t.Fatalf("%s live: %v", cfg.Name, err)
+				}
+				replay, err := mustRun(pipeline.NewReplay(cfg, prog, tr))
+				if err != nil {
+					t.Fatalf("%s replay: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(live, replay) {
+					t.Errorf("%s: replay result differs from live\nlive   %+v\nreplay %+v",
+						cfg.Name, live, replay)
+				}
+			}
+		})
+	}
+}
+
+func mustRun(s *pipeline.Session, err error) (*pipeline.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(context.Background(), pipeline.RunOpts{})
+}
+
+// TestReplayConcurrentSessions replays one shared trace from many
+// sessions at once — the sweep-cell shape (1 decode, N timing passes).
+// Exercised under -race in CI; every session must agree with the live
+// result.
+func TestReplayConcurrentSessions(t *testing.T) {
+	b, ok := workloads.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing from registry")
+	}
+	prog := b.Program(1)
+	tr, err := emu.Record(context.Background(), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	want, err := mustRun(pipeline.New(cfg, prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replayers = 8
+	results := make([]*pipeline.Result, replayers)
+	errs := make([]error, replayers)
+	var wg sync.WaitGroup
+	for i := 0; i < replayers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = mustRun(pipeline.NewReplay(cfg, prog, tr))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < replayers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("replayer %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Errorf("replayer %d diverged from the live result", i)
+		}
+	}
+}
+
+// TestReplayRejectsMismatch: a trace only replays the program it was
+// recorded from, and a nil trace is an error, not a panic.
+func TestReplayRejectsMismatch(t *testing.T) {
+	mcf, _ := workloads.ByName("mcf")
+	gcc, _ := workloads.ByName("gcc")
+	tr, err := emu.Record(context.Background(), mcf.Program(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.NewReplay(pipeline.DefaultConfig(), gcc.Program(1), tr); err == nil {
+		t.Error("replaying an mcf trace into gcc succeeded")
+	}
+	if _, err := pipeline.NewReplay(pipeline.DefaultConfig(), mcf.Program(1), nil); err == nil {
+		t.Error("replaying a nil trace succeeded")
+	}
+}

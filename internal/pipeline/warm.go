@@ -122,5 +122,5 @@ func NewFromCheckpointWarmed(cfg Config, prog *emu.Program, ck *emu.Checkpoint, 
 	if ck.Halted {
 		return nil, fmt.Errorf("pipeline: checkpoint of %q is already halted", ck.Program)
 	}
-	return newSession(cfg, prog, ck, ws)
+	return newSession(cfg, prog, nil, ck, ws)
 }

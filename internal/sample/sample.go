@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 )
 
@@ -42,6 +46,12 @@ type Config struct {
 	// structures — with warming on (the default), a few hundred
 	// instructions of detailed warmup suffice.
 	ColdStart bool
+	// Workers bounds how many detailed windows run concurrently (0 =
+	// GOMAXPROCS). Windows are independent — each owns its checkpoint
+	// and warms its own cache/predictor clones from its trailing
+	// stretch — so the estimate is identical for any worker count;
+	// Workers is therefore excluded from Key.
+	Workers int
 }
 
 // DefaultConfig is the sampling regime the CLI's -sample flag uses:
@@ -57,8 +67,15 @@ func DefaultConfig() Config {
 // a partially set Config gets the default Window (and, when Period is
 // auto, TargetWindows) where zero.
 func (c Config) Normalize() Config {
-	if c == (Config{}) {
-		return DefaultConfig()
+	// Workers is pure execution policy (it never changes the estimate),
+	// so a Config that sets nothing else still means "the default
+	// regime".
+	z := c
+	z.Workers = 0
+	if z == (Config{}) {
+		d := DefaultConfig()
+		d.Workers = c.Workers
+		return d
 	}
 	d := DefaultConfig()
 	if c.Window == 0 {
@@ -87,6 +104,9 @@ func (c Config) Validate() error {
 	if c.MaxWindows < 0 {
 		return fmt.Errorf("sample: MaxWindows %d must be non-negative", c.MaxWindows)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sample: Workers %d must be non-negative", c.Workers)
+	}
 	return nil
 }
 
@@ -94,13 +114,19 @@ func (c Config) Validate() error {
 // capping detailed coverage near 1/minSpacing.
 const minSpacing = 5
 
-// warmStretchFactor bounds functional warming: when the gap to the next
-// window exceeds warmStretchFactor × (Warmup + Window), only that many
-// trailing instructions are observed and the rest fast-forward raw. The
-// stretch covers the history the window-start state actually depends on
-// (predictor history, hot cache lines) at a fraction of full-warming
-// cost on long gaps.
-const warmStretchFactor = 6
+// warmStretchFactor bounds functional warming: each window observes
+// only the warmStretchFactor × (Warmup + Window) instructions
+// trailing its start into fresh cache/predictor clones, and everything
+// before that fast-forwards raw. The stretch must cover the history
+// the window-start state actually depends on (predictor history, hot
+// cache lines); because windows warm independently — nothing
+// accumulates across windows, which is what makes them
+// order-independent and safe to run concurrently — the stretch is
+// sized generously. 24 matches the measured accuracy of the old
+// continuous-warming scheme (factor 6 with state accumulated across
+// the whole run) on every sample-check benchmark, and its cost is
+// independent of program length, so planned sampled runs still scale.
+const warmStretchFactor = 24
 
 // shortRunFactor: a program shorter than shortRunFactor × (Warmup +
 // Window) is simulated exactly instead of sampled — sampling a run
@@ -139,13 +165,19 @@ func (c Config) periodFor(totalInsts uint64) uint64 {
 
 // Key returns a canonical string identifying the sampling regime, used
 // (together with the machine config key) to key sampled-result caches
-// so exact and sampled results never collide.
+// so exact and sampled results never collide. Workers is excluded (it
+// cannot change the estimate). The leading "2." is an estimator
+// version marker: window warming became per-window (each window warms
+// independently from its trailing stretch instead of accumulating
+// warm state across the run), which shifts estimates slightly, so
+// results persisted under the old scheme must not be returned for the
+// new one.
 func (c Config) Key() string {
 	cold := ""
 	if c.ColdStart {
 		cold = ".cold"
 	}
-	return fmt.Sprintf("p%d.t%d.w%d.m%d.x%d%s", c.Period, c.TargetWindows, c.Warmup, c.Window, c.MaxWindows, cold)
+	return fmt.Sprintf("2.p%d.t%d.w%d.m%d.x%d%s", c.Period, c.TargetWindows, c.Warmup, c.Window, c.MaxWindows, cold)
 }
 
 // Window is one measured detailed window.
@@ -392,11 +424,92 @@ func Run(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config)
 // pre-pass. The experiment engine feeds it the memoized InstCount, so
 // the count is established once per (benchmark, scale) no matter how
 // many machine configurations sample it.
+//
+// RunTotal is BuildPlan + RunPlanned: callers that sample the same
+// program under many machine configurations should build the
+// (config-independent) plan once and call RunPlanned per config — the
+// whole-program fast-forward is the dominant per-run cost, and the
+// plan pays it exactly once.
 func RunTotal(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config, totalInsts uint64) (*Result, error) {
-	cfg = cfg.Normalize()
-	if err := cfg.Validate(); err != nil {
+	sc = sc.Normalize()
+	plan, err := BuildPlan(ctx, prog, sc, totalInsts)
+	if err != nil {
 		return nil, err
 	}
+	return RunPlanned(ctx, cfg, prog, sc, plan)
+}
+
+// PlanWindow is one scheduled detailed window: an architectural
+// checkpoint at the point functional warming begins, plus the window's
+// position in the stream. The checkpoint is never consumed (sessions
+// copy its memory image), so one plan serves any number of machine
+// configurations, and any number of workers concurrently.
+type PlanWindow struct {
+	// Index is the window's position in the schedule, from 0.
+	Index int
+	// Start is the dynamic instruction the detailed region begins at
+	// (warmup first, then the measured window).
+	Start uint64
+	// WarmFrom is where functional warming begins: Start minus the
+	// warm stretch (floored at 0), or equal to Start under ColdStart.
+	// Ck sits at WarmFrom; the gap [WarmFrom, Start) is emulated under
+	// a per-window warmer before the detailed session is seeded.
+	WarmFrom uint64
+	// Ck is the architectural state at WarmFrom.
+	Ck *emu.Checkpoint
+}
+
+// Plan is the config-independent half of a sampled run: the window
+// schedule for one (program, sampling regime, total instruction count)
+// triple, with an architectural checkpoint per window. Building it
+// costs one raw fast-forward across the program — the dominant cost of
+// a sampled run — so the experiment engine caches plans and replays
+// them across every machine configuration of a sweep. A Plan is
+// read-only after BuildPlan and safe for concurrent use.
+//
+// A Plan with Period == 0 schedules no windows: the program is too
+// short to sample and RunPlanned falls back to one exact detailed run.
+type Plan struct {
+	// Program names the program the plan was built from; RunPlanned
+	// rejects a plan for a different program.
+	Program string
+	// TotalInsts is the exact dynamic instruction count the plan was
+	// scheduled against.
+	TotalInsts uint64
+	// Period is the resolved sampling period (0 = exact fallback).
+	Period uint64
+	// Windows is the schedule, in stream order.
+	Windows []PlanWindow
+}
+
+// Bytes returns the approximate resident size of the plan — the
+// checkpoints' memory images dominate — for cache budget accounting.
+func (p *Plan) Bytes() uint64 {
+	const ckOverhead = 1 << 10 // registers + headers, per window
+	var n uint64
+	for _, w := range p.Windows {
+		n += ckOverhead
+		if w.Ck != nil && w.Ck.Mem != nil {
+			n += uint64(w.Ck.Mem.PageCount()) * mem.PageSize
+		}
+	}
+	return n
+}
+
+// BuildPlan schedules the detailed windows for a program of totalInsts
+// dynamic instructions under regime sc, snapshotting the architectural
+// state at each window's warm-from point with a single monotone
+// fast-forward pass. One window per period-length stratum, centered:
+// the detailed region sits at the stratum midpoint rather than its
+// left edge, so each measurement represents its stratum's average
+// behavior rather than over-weighting the boundary (the left-edge
+// window of the first stratum would measure the program's coldest
+// startup instructions and bias the whole estimate). A window whose
+// full warmup+measure extent would run past the program end is dropped
+// (its truncated measurement would be drain-biased), and emulation
+// stops at the last window's warm-from point — instructions past it
+// are never needed here.
+func BuildPlan(ctx context.Context, prog *emu.Program, sc Config, totalInsts uint64) (*Plan, error) {
 	sc = sc.Normalize()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -407,110 +520,208 @@ func RunTotal(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Co
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	plan := &Plan{Program: prog.Name, TotalInsts: totalInsts}
+	period := sc.periodFor(totalInsts)
+	if period == 0 {
+		return plan, nil // too short to sample: exact fallback
+	}
+	plan.Period = period
+	detail := sc.Warmup + sc.Window
+	stretch := warmStretchFactor * detail
+	m := emu.New(prog)
+	for start := (period - detail) / 2; start+detail <= totalInsts; start += period {
+		if sc.MaxWindows > 0 && len(plan.Windows) >= sc.MaxWindows {
+			break
+		}
+		warmFrom := start
+		if !sc.ColdStart && start > 0 {
+			if start > stretch {
+				warmFrom = start - stretch
+			} else {
+				warmFrom = 0
+			}
+		}
+		if err := forward(ctx, m, warmFrom, nil); err != nil {
+			return nil, err
+		}
+		if m.Halted() {
+			break // totalInsts overstated; drop the unreachable windows
+		}
+		plan.Windows = append(plan.Windows, PlanWindow{
+			Index:    len(plan.Windows),
+			Start:    start,
+			WarmFrom: warmFrom,
+			Ck:       m.Snapshot(),
+		})
+	}
+	return plan, nil
+}
+
+// runWindow executes one scheduled window under cfg: resume the
+// emulator at the checkpoint, warm fresh cache/predictor clones over
+// the [WarmFrom, Start) stretch (skipped under ColdStart, where the
+// checkpoint already sits at Start), seed a detailed session from the
+// warmed state, and run warmup + measured window. ok is false when the
+// program halts before yielding a measurable window.
+func runWindow(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config, pw PlanWindow) (w Window, ok bool, err error) {
+	var s *pipeline.Session
+	if pw.WarmFrom == pw.Start {
+		s, err = pipeline.NewFromCheckpoint(cfg, prog, pw.Ck)
+	} else {
+		m := emu.NewAt(prog, pw.Ck)
+		warmer := pipeline.NewWarmer(cfg)
+		if err := forward(ctx, m, pw.Start, warmer); err != nil {
+			return Window{}, false, err
+		}
+		if m.Halted() {
+			return Window{}, false, nil
+		}
+		// Borrow, not clone: the warmer is private to this window, and
+		// the session is the last user of its structures.
+		s, err = pipeline.NewFromCheckpointWarmed(cfg, prog, m.Snapshot(), warmer.Borrow())
+	}
+	if err != nil {
+		return Window{}, false, err
+	}
+	r, err := s.Run(ctx, pipeline.RunOpts{
+		MaxRetired:    sc.Warmup + sc.Window,
+		WarmupRetired: sc.Warmup,
+	})
+	if err != nil {
+		return Window{}, false, err
+	}
+	w, ok = windowOf(r, pw.Start, sc)
+	return w, ok, nil
+}
+
+// RunPlanned executes plan's detailed windows under cfg and returns
+// the whole-run estimate. Windows are independent (each owns its
+// checkpoint and warms its own structures), so they are dispatched to
+// a pool of sc.Workers goroutines (0 = GOMAXPROCS) and merged
+// deterministically by schedule index — the Result is identical for
+// any worker count, byte for byte. The first window error cancels the
+// rest.
+func RunPlanned(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config, plan *Plan) (*Result, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("sample: nil plan")
+	}
+	if plan.Program != prog.Name {
+		return nil, fmt.Errorf("sample: plan for %q cannot run program %q", plan.Program, prog.Name)
+	}
+	if plan.TotalInsts == 0 {
+		return nil, fmt.Errorf("sample: plan has zero TotalInsts")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	res := &Result{
 		Machine:    cfg.Name,
 		Program:    prog.Name,
 		ConfigKey:  cfg.Key(),
 		Sampling:   sc,
-		TotalInsts: totalInsts,
+		TotalInsts: plan.TotalInsts,
 	}
-
-	period := sc.periodFor(totalInsts)
-	if period == 0 {
-		// Too short to sample profitably: one exact detailed run,
-		// recorded as a single all-measured window.
+	if plan.Period == 0 || len(plan.Windows) == 0 {
+		// Too short to sample (or totalInsts was overstated and no
+		// window fit): one exact detailed run, recorded as a single
+		// all-measured window.
 		if err := res.exactFallback(ctx, cfg, prog); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
+	res.Period = plan.Period
 
-	res.Period = period
-	m := emu.New(prog)
-	var warmer *pipeline.Warmer
-	if !sc.ColdStart {
-		warmer = pipeline.NewWarmer(cfg)
+	type slot struct {
+		w  Window
+		ok bool
 	}
-	detail := sc.Warmup + sc.Window
-	stretch := warmStretchFactor * detail
+	out := make([]slot, len(plan.Windows))
 
-	// advance fast-forwards the emulator to the target instruction,
-	// observing (at most) the trailing warm-stretch into the warmer and
-	// skipping the rest raw.
-	advance := func(target uint64) error {
-		from := m.InstCount()
-		if warmer == nil || target-from <= stretch {
-			return forward(ctx, m, target, warmer)
-		}
-		if err := forward(ctx, m, target-stretch, nil); err != nil {
-			return err
-		}
-		return forward(ctx, m, target, warmer)
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-
-	// One window per period-length stratum, centered: the detailed
-	// region sits at the stratum midpoint rather than its left edge, so
-	// each measurement represents its stratum's average behavior rather
-	// than over-weighting the boundary (the left-edge window of the
-	// first stratum would measure the program's coldest startup
-	// instructions and bias the whole estimate). A window whose full
-	// warmup+measure extent would run past the program end is dropped
-	// (its truncated measurement would be drain-biased), and emulation
-	// stops at the last window — instructions past it are never needed.
-	for start := (period - detail) / 2; start+detail <= totalInsts; start += period {
-		if sc.MaxWindows > 0 && len(res.Windows) >= sc.MaxWindows {
-			break
-		}
-		if err := advance(start); err != nil {
-			return nil, err
-		}
-		if m.Halted() {
-			break // totalInsts overstated; drop the unreachable windows
-		}
-		ck := m.Snapshot()
-		var (
-			s   *pipeline.Session
-			err error
-		)
-		if warmer != nil {
-			// The session borrows the warmer's structures: it trains
-			// them exactly as a continuous detailed run would, and the
-			// raw skip below keeps the emulator from re-observing the
-			// window's own instructions.
-			s, err = pipeline.NewFromCheckpointWarmed(cfg, prog, ck, warmer.Borrow())
-		} else {
-			s, err = pipeline.NewFromCheckpoint(cfg, prog, ck)
-		}
-		if err != nil {
-			return nil, err
-		}
-		r, err := s.Run(ctx, pipeline.RunOpts{
-			MaxRetired:    detail,
-			WarmupRetired: sc.Warmup,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if w, ok := windowOf(r, ck.InstCount, sc); ok {
-			w.Index = len(res.Windows)
-			res.Windows = append(res.Windows, w)
-		}
-		if warmer != nil {
-			// Skip past the instructions the borrowing session already
-			// trained the warm structures on.
-			skipTo := start + detail
-			if skipTo > totalInsts {
-				skipTo = totalInsts
-			}
-			if err := forward(ctx, m, skipTo, nil); err != nil {
+	if workers > len(plan.Windows) {
+		workers = len(plan.Windows)
+	}
+	if workers <= 1 {
+		for i, pw := range plan.Windows {
+			w, ok, err := runWindow(ctx, cfg, prog, sc, pw)
+			if err != nil {
 				return nil, err
 			}
+			out[i] = slot{w, ok}
+		}
+	} else {
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			next   atomic.Int64
+			wg     sync.WaitGroup
+			errMu  sync.Mutex
+			werr   error
+			werrAt = int64(len(plan.Windows))
+		)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(plan.Windows)) {
+						return
+					}
+					w, ok, err := runWindow(wctx, cfg, prog, sc, plan.Windows[i])
+					if err != nil {
+						// Keep the earliest-indexed error so the
+						// reported failure does not depend on worker
+						// scheduling.
+						errMu.Lock()
+						if i < werrAt {
+							werrAt, werr = i, err
+						}
+						errMu.Unlock()
+						cancel()
+						return
+					}
+					out[i] = slot{w, ok}
+				}
+			}()
+		}
+		wg.Wait()
+		if werr != nil {
+			// A cancellation-induced error from a later window must not
+			// mask the caller's own context error.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, werr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
+
+	for _, s := range out {
+		if !s.ok {
+			continue
+		}
+		s.w.Index = len(res.Windows)
+		res.Windows = append(res.Windows, s.w)
+	}
 	if len(res.Windows) == 0 {
-		// Defensive: periodFor guarantees at least one window fits, but
-		// an overstated totalInsts could defeat it; fall back to exact.
+		// Defensive: every scheduled window fell inside a halt region;
+		// fall back to exact.
 		res.Period = 0
 		if err := res.exactFallback(ctx, cfg, prog); err != nil {
 			return nil, err

@@ -315,3 +315,98 @@ func BenchmarkSampledFigure6(b *testing.B) {
 		}
 	}
 }
+
+// TestRunPlannedWorkerCountInvariant is the parallel-sampling
+// determinism gate: the same plan run with 1, 2, and 4 workers must
+// produce byte-identical Results — windows are independent and merged
+// by schedule index, so worker scheduling can never leak into the
+// estimate.
+func TestRunPlannedWorkerCountInvariant(t *testing.T) {
+	b := prog(t, "tst")
+	p := b.Program(1)
+	cfg := pipeline.DefaultConfig()
+	sc := Config{Warmup: 50, Window: 100, TargetWindows: 8}.Normalize()
+
+	pre, err := Run(context.Background(), cfg, p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(context.Background(), p, sc, pre.TotalInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Result
+	for _, workers := range []int{1, 2, 4} {
+		scw := sc
+		scw.Workers = workers
+		r, err := RunPlanned(context.Background(), cfg, p, scw, plan)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Sampling records the worker count; blank it before comparing
+		// the parts that must be invariant.
+		r.Sampling.Workers = 0
+		if base == nil {
+			base = r
+			continue
+		}
+		if !reflect.DeepEqual(base, r) {
+			t.Errorf("workers=%d diverged:\nbase %+v\ngot  %+v", workers, base, r)
+		}
+	}
+}
+
+// TestPlanReuseMatchesRunTotal: running a cached plan yields the same
+// Result as the plan-building RunTotal path — the engine's plan cache
+// cannot change any estimate.
+func TestPlanReuseMatchesRunTotal(t *testing.T) {
+	b := prog(t, "mgd")
+	p := b.Program(1)
+	cfg := pipeline.DefaultConfig()
+	sc := DefaultConfig()
+
+	pre, err := Run(context.Background(), cfg, p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunTotal(context.Background(), cfg, p, sc, pre.TotalInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(context.Background(), p, sc, pre.TotalInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bytes() == 0 {
+		t.Error("Plan.Bytes() = 0 for a plan holding checkpoints")
+	}
+	replayed, err := RunPlanned(context.Background(), cfg, p, sc, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, replayed) {
+		t.Errorf("planned run diverged from RunTotal:\ndirect   %+v\nreplayed %+v", direct, replayed)
+	}
+}
+
+// TestRunPlannedRejects: a plan only runs the program it was built
+// from, and nil or zero-total plans are errors.
+func TestRunPlannedRejects(t *testing.T) {
+	p := prog(t, "tst").Program(1)
+	other := prog(t, "mgd").Program(1)
+	sc := DefaultConfig()
+	pre, err := Run(context.Background(), pipeline.DefaultConfig(), p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(context.Background(), p, sc, pre.TotalInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPlanned(context.Background(), pipeline.DefaultConfig(), other, sc, plan); err == nil {
+		t.Error("running a tst plan on mgd succeeded")
+	}
+	if _, err := RunPlanned(context.Background(), pipeline.DefaultConfig(), p, sc, nil); err == nil {
+		t.Error("running a nil plan succeeded")
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench_gate.sh — gate simulator throughput against a committed baseline.
+#
+# Usage:
+#   scripts/bench_gate.sh NEW.json BASELINE.json [MIN_GEOMEAN]
+#
+# Compares every benchmark present in both bench.sh JSON files that
+# reports an insts/s metric. Each new/baseline ratio is normalized by
+# the BenchmarkEmulator ratio — raw architectural emulation is a
+# stand-in for plain machine speed, so a slower or faster CI machine
+# cancels out and what remains is simulator throughput relative to the
+# emulator. The gate fails when the geomean of the normalized ratios
+# falls below MIN_GEOMEAN (default 0.80, i.e. a >=20% machine-relative
+# regression in retired-insts/s).
+set -euo pipefail
+
+new="${1:?usage: bench_gate.sh NEW.json BASELINE.json [min_geomean]}"
+base="${2:?usage: bench_gate.sh NEW.json BASELINE.json [min_geomean]}"
+min="${3:-0.80}"
+
+summary=$(jq -rn --slurpfile a "$new" --slurpfile b "$base" '
+	def rates(f): [f.results[] | select(.metrics["insts/s"] != null)
+	               | {key: .name, value: .metrics["insts/s"]}] | from_entries;
+	rates($a[0]) as $n | rates($b[0]) as $o |
+	(($n.BenchmarkEmulator // error("BenchmarkEmulator missing from new run"))
+	 / ($o.BenchmarkEmulator // error("BenchmarkEmulator missing from baseline"))) as $m |
+	[$n | to_entries[]
+	 | select(.key != "BenchmarkEmulator" and $o[.key] != null)
+	 | {name: .key, ratio: ((.value / $o[.key]) / $m)}] as $r |
+	if ($r | length) == 0 then error("no comparable insts/s benchmarks")
+	else ($r | map(.ratio | log) | add / length | exp) as $g |
+	  ([$r[] | "\(.name) \(.ratio)"]
+	   + ["machine-ratio \($m)", "geomean \($g)"]) | .[]
+	end')
+echo "$summary"
+
+geo=$(echo "$summary" | awk '$1 == "geomean" { print $2 }')
+if ! awk -v g="$geo" -v m="$min" 'BEGIN { exit !(g + 0 >= m + 0) }'; then
+	echo "FAIL: insts/s geomean $geo below $min" >&2
+	exit 1
+fi
+echo "OK: insts/s geomean $geo >= $min" >&2
