@@ -13,13 +13,20 @@
 //
 //	-max N      instruction limit for run/trace (0 = to completion)
 //	-regs       with run: print all non-zero registers
+//
+// SIGINT and SIGTERM cancel the command's context: emulation and
+// simulation abort promptly (exit status 130) instead of running a
+// runaway program to completion.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/asm"
 	"repro/internal/emu"
@@ -28,13 +35,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "co64:", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("co64", flag.ContinueOnError)
 	max := fs.Uint64("max", 0, "instruction limit (0 = to completion)")
 	regs := fs.Bool("regs", false, "print all non-zero registers")
@@ -61,9 +73,9 @@ func run(args []string) error {
 
 	switch cmd {
 	case "run":
-		return emulate(prog, *max, *regs)
+		return emulate(ctx, prog, *max, *regs)
 	case "sim":
-		return simulate(prog)
+		return simulate(ctx, prog)
 	case "fmt":
 		fmt.Print(asm.Format(prog))
 		return nil
@@ -75,7 +87,7 @@ func run(args []string) error {
 			return err
 		}
 		s.SetTraceWriter(os.Stdout)
-		_, err = s.Run(context.Background(), pipeline.RunOpts{})
+		_, err = s.Run(ctx, pipeline.RunOpts{})
 		return err
 	default:
 		usage()
@@ -83,9 +95,24 @@ func run(args []string) error {
 	}
 }
 
-func emulate(prog *emu.Program, max uint64, allRegs bool) error {
+// emuChunk bounds how many instructions the emulator runs between
+// cancellation checks: large enough to stay off the hot path, small
+// enough that Ctrl-C lands within milliseconds.
+const emuChunk = 1 << 20
+
+func emulate(ctx context.Context, prog *emu.Program, max uint64, allRegs bool) error {
 	m := emu.New(prog)
-	n := m.Run(max)
+	var n uint64
+	for !m.Halted() && (max == 0 || n < max) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("after %d instructions: %w", n, err)
+		}
+		chunk := uint64(emuChunk)
+		if max > 0 && max-n < chunk {
+			chunk = max - n
+		}
+		n += m.Run(chunk)
+	}
 	fmt.Printf("executed %d instructions, halted=%v\n", n, m.Halted())
 	if allRegs {
 		for r := 0; r < isa.NumRegs; r++ {
@@ -100,9 +127,24 @@ func emulate(prog *emu.Program, max uint64, allRegs bool) error {
 	return nil
 }
 
-func simulate(prog *emu.Program) error {
-	base := pipeline.Run(pipeline.DefaultConfig().Baseline(), prog)
-	opt := pipeline.Run(pipeline.DefaultConfig(), prog)
+// simulate runs prog on both machines through context-aware sessions,
+// so sim is as interruptible as trace.
+func simulate(ctx context.Context, prog *emu.Program) error {
+	sim := func(cfg pipeline.Config) (*pipeline.Result, error) {
+		s, err := pipeline.New(cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(ctx, pipeline.RunOpts{})
+	}
+	base, err := sim(pipeline.DefaultConfig().Baseline())
+	if err != nil {
+		return err
+	}
+	opt, err := sim(pipeline.DefaultConfig())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("baseline:  %d cycles, IPC %.3f\n", base.Cycles, base.IPC())
 	fmt.Printf("optimized: %d cycles, IPC %.3f (speedup %.3f)\n",
 		opt.Cycles, opt.IPC(), opt.SpeedupOver(base))

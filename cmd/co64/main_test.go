@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,25 +35,25 @@ func writeSample(t *testing.T) string {
 }
 
 func TestRunCommand(t *testing.T) {
-	if err := run([]string{"run", writeSample(t)}); err != nil {
+	if err := run(context.Background(), []string{"run", writeSample(t)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithRegsAndMax(t *testing.T) {
-	if err := run([]string{"run", "-max", "10", "-regs", writeSample(t)}); err != nil {
+	if err := run(context.Background(), []string{"run", "-max", "10", "-regs", writeSample(t)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSimCommand(t *testing.T) {
-	if err := run([]string{"sim", writeSample(t)}); err != nil {
+	if err := run(context.Background(), []string{"sim", writeSample(t)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFmtCommand(t *testing.T) {
-	if err := run([]string{"fmt", writeSample(t)}); err != nil {
+	if err := run(context.Background(), []string{"fmt", writeSample(t)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -65,30 +67,42 @@ func TestTraceCommand(t *testing.T) {
 	}
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
-	if err := run([]string{"trace", "-max", "50", writeSample(t)}); err != nil {
+	if err := run(context.Background(), []string{"trace", "-max", "50", writeSample(t)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run([]string{"run", "/nonexistent/file.s"}); err == nil {
+	if err := run(context.Background(), []string{"run", "/nonexistent/file.s"}); err == nil {
 		t.Error("expected file error")
 	}
-	if err := run([]string{"bogus", writeSample(t)}); err == nil {
+	if err := run(context.Background(), []string{"bogus", writeSample(t)}); err == nil {
 		t.Error("expected unknown-command error")
 	}
-	if err := run([]string{"run"}); err == nil {
+	if err := run(context.Background(), []string{"run"}); err == nil {
 		t.Error("expected usage error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.s")
 	os.WriteFile(bad, []byte("frobnicate"), 0o644)
-	if err := run([]string{"run", bad}); err == nil {
+	if err := run(context.Background(), []string{"run", bad}); err == nil {
 		t.Error("expected assembly error")
 	}
 }
 
+func TestCanceledContextAborts(t *testing.T) {
+	// SIGINT and SIGTERM both cancel the command context in main; a
+	// pre-canceled context must abort every simulating subcommand.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, cmd := range []string{"run", "sim"} {
+		if err := run(ctx, []string{cmd, writeSample(t)}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s under canceled ctx returned %v, want context.Canceled", cmd, err)
+		}
+	}
+}
+
 func TestNoArgsIsUsage(t *testing.T) {
-	if err := run(nil); err != nil {
+	if err := run(context.Background(), nil); err != nil {
 		t.Errorf("bare invocation prints usage, got %v", err)
 	}
 }

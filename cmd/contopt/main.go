@@ -13,6 +13,7 @@
 //	contopt sweep <spec.json>         run a user-defined sweep spec
 //	contopt sample-check [bench ...]  validate the sampled estimator vs exact
 //	contopt store <ls|stat|gc|verify> inspect/maintain the persistent store
+//	contopt serve [-addr :8080]       multi-tenant sweep service over HTTP
 //	contopt all                       everything above
 //
 // Every experiment runs on one shared exper engine, so a single "all"
@@ -59,6 +60,16 @@
 // inspects and maintains the store; -v distinguishes memory hits,
 // store hits, and misses so warm runs are observable.
 //
+// Serving: "contopt serve -addr :8080 -store DIR" exposes the engine as
+// a multi-tenant HTTP service (internal/serve). Clients POST sweep
+// specs to /v1/sweeps tagged with a tenant and an SLO class (critical,
+// sheddable, batch), poll /v1/jobs/{id} or stream Server-Sent Events
+// from /v1/jobs/{id}/events, and read engine + queue statistics from
+// /metrics. Identical cells across clients dedupe through the same
+// engine singleflight and store read-through as the CLI. SIGINT/SIGTERM
+// drain the service gracefully for up to -drain before aborting
+// in-flight jobs.
+//
 // Flags:
 //
 //	-scale N          override benchmark iteration scale (0 = default)
@@ -74,6 +85,11 @@
 //	-sample-warmup N  detailed warmup instructions per window (stats discarded)
 //	-sample-window N  measured detailed instructions per window
 //	-tolerance PCT    sample-check failure threshold (default 5)
+//	-addr HOST:PORT   serve: HTTP listen address
+//	-drain D          serve: graceful drain timeout on shutdown
+//	-max-jobs N       serve: concurrent running jobs (0 = default)
+//	-tenant-jobs N    serve: running jobs per tenant (0 = default)
+//	-queue-depth N    serve: queued jobs per SLO class (0 = default)
 //	-cpuprofile F     write a CPU profile of the command to F
 //	-memprofile F     write a heap profile to F when the command finishes
 package main
@@ -97,6 +113,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
@@ -133,6 +150,11 @@ func run(ctx context.Context, args []string) error {
 	sampleWindow := fs.Uint64("sample-window", 0, "measured detailed instructions per window (0 = default)")
 	tolerance := fs.Float64("tolerance", 5, "sample-check failure threshold, percent")
 	checkIPC := fs.Bool("check-ipc", false, "sample-check: also gate per-machine IPC errors, not just speedup")
+	addr := fs.String("addr", ":8080", "serve: HTTP listen address")
+	drain := fs.Duration("drain", 30*time.Second, "serve: graceful drain timeout on shutdown")
+	maxJobs := fs.Int("max-jobs", 0, "serve: concurrent running jobs (0 = default)")
+	tenantJobs := fs.Int("tenant-jobs", 0, "serve: running jobs per tenant (0 = default)")
+	queueDepth := fs.Int("queue-depth", 0, "serve: queued jobs per SLO class (0 = default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the command finishes")
 	if len(args) == 0 {
@@ -229,13 +251,9 @@ func run(ctx context.Context, args []string) error {
 		})
 	}
 	if *verbose {
-		defer func() {
-			st := engine.Stats()
-			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memory hits, %d store hits\n",
-				st.Simulations, st.MemHits, st.StoreHits)
-			fmt.Fprintf(os.Stderr, "engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused; %.1f MiB resident\n",
-				st.TraceRecords, st.TraceHits, st.PlanBuilds, st.PlanHits, float64(st.TraceBytes)/(1<<20))
-		}()
+		// One formatter for CLI -v and the server's /metrics: both render
+		// the same exper.Stats snapshot.
+		defer func() { fmt.Fprintln(os.Stderr, engine.Stats()) }()
 	}
 	opts := harness.Options{Scale: *scale, Parallelism: *parallel, Engine: engine, Sample: sampleCfg}
 	out := os.Stdout
@@ -296,6 +314,16 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		return sr.WriteTable(out)
+	case "serve":
+		srv := serve.New(engine, serve.Config{
+			MaxJobs:    *maxJobs,
+			TenantJobs: *tenantJobs,
+			QueueDepth: *queueDepth,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		return srv.ListenAndServe(ctx, *addr, *drain)
 	case "verify":
 		return verify(ctx, out, *scale)
 	case "all":
@@ -562,12 +590,16 @@ commands:
               validate the sampled estimator against exact runs
   store <ls|stat|gc|verify>
               index, summarize, clean, or integrity-check the -store DIR
+  serve       multi-tenant sweep service over HTTP (SLO classes, SSE,
+              cross-client dedup; see -addr, -drain, -max-jobs,
+              -tenant-jobs, -queue-depth)
   all         run every experiment (shared result cache across artifacts)
 
 flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
        -trace-cache MB, -window-workers N,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
        -tolerance PCT and -check-ipc (sample-check),
+       -addr, -drain, -max-jobs, -tenant-jobs, -queue-depth (serve),
        -cpuprofile F, -memprofile F (any command)
 
 -sample applies to run, sweep and every artifact command: simulation

@@ -377,6 +377,24 @@ func TestStoreSubcommand(t *testing.T) {
 	}
 }
 
+func TestServeCommandDrainsOnContextEnd(t *testing.T) {
+	// -timeout stands in for SIGINT/SIGTERM: the service must come up,
+	// log its bound address, and exit cleanly (nil) through the graceful
+	// drain path when the command context ends.
+	start := time.Now()
+	_, stderr := captureAll(t, func() error {
+		return run(context.Background(), []string{"serve", "-addr", "127.0.0.1:0", "-timeout", "300ms", "-drain", "5s"})
+	})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("serve took %v to drain", elapsed)
+	}
+	for _, want := range []string{"serve: listening on 127.0.0.1:", "serve: draining", "serve: drained"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("serve log missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
 func TestStoreSubcommandErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"store", "ls"}); err == nil {
 		t.Error("store without a directory should fail")

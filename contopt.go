@@ -29,6 +29,11 @@
 //     content-addressed on-disk cache layered below the engine's
 //     in-memory one, so results survive process exit, sweeps resume
 //     after interruption, and warm reruns perform zero simulations
+//   - the multi-tenant sweep service (SweepServer, NewSweepServer):
+//     an HTTP front end over one shared engine with SLO-class
+//     scheduling (critical, sheddable, batch), load shedding, per-job
+//     Server-Sent-Events progress streams, and cross-client dedup of
+//     identical cells — the "contopt serve" subcommand
 //
 // Quick start:
 //
@@ -54,6 +59,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
@@ -195,6 +201,34 @@ func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 // the decode-once counters (traces recorded vs replayed, sampled-run
 // plans built vs reused, resident cache bytes).
 type EngineStats = exper.Stats
+
+// SweepServer is the multi-tenant sweep service: POST sweep specs to
+// /v1/sweeps tagged with a tenant and SLO class, stream SSE progress
+// from /v1/jobs/{id}/events, read engine and queue statistics from
+// /metrics. All jobs execute through one shared Engine, so identical
+// cells dedupe across clients. See internal/serve.
+type SweepServer = serve.Server
+
+// SweepServerConfig tunes a SweepServer's scheduler and telemetry.
+type SweepServerConfig = serve.Config
+
+// SLOClass is a submitted job's scheduling tier.
+type SLOClass = serve.Class
+
+// SLO classes, in dequeue-priority order.
+const (
+	SLOCritical  = serve.Critical
+	SLOSheddable = serve.Sheddable
+	SLOBatch     = serve.Batch
+)
+
+// NewSweepServer builds a sweep service over eng. Serve it with
+// SweepServer.ListenAndServe (which drains gracefully when its context
+// ends) or mount SweepServer.Handler on your own http.Server and call
+// SweepServer.Shutdown yourself.
+func NewSweepServer(eng *Engine, cfg SweepServerConfig) *SweepServer {
+	return serve.New(eng, cfg)
+}
 
 // LoadSweepSpec reads and validates a JSON sweep spec file.
 func LoadSweepSpec(path string) (*SweepSpec, error) { return exper.LoadSpec(path) }

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -204,16 +205,31 @@ func (r *Runner) SetStore(st *store.Store) {
 // sweep cell at full effectiveness is {TraceRecords: 1, TraceHits:
 // 29}. TraceBytes is the resident size of both caches right now,
 // bounded by SetTraceBudget.
+// Stats marshals to JSON with stable snake_case field names, so
+// services can expose a snapshot directly (e.g. a /metrics endpoint),
+// and String renders the CLI's "-v" stat lines — one formatter for
+// every surface that reports engine effectiveness.
 type Stats struct {
-	Simulations uint64
-	MemHits     uint64
-	StoreHits   uint64
+	Simulations uint64 `json:"simulations"`
+	MemHits     uint64 `json:"mem_hits"`
+	StoreHits   uint64 `json:"store_hits"`
 
-	TraceRecords uint64
-	TraceHits    uint64
-	PlanBuilds   uint64
-	PlanHits     uint64
-	TraceBytes   uint64
+	TraceRecords uint64 `json:"trace_records"`
+	TraceHits    uint64 `json:"trace_hits"`
+	PlanBuilds   uint64 `json:"plan_builds"`
+	PlanHits     uint64 `json:"plan_hits"`
+	TraceBytes   uint64 `json:"trace_bytes"`
+}
+
+// String renders the snapshot as the two human-readable stat lines the
+// CLI prints under -v (no trailing newline). Keeping the formatter on
+// the type means the CLI and the serve /metrics log lines cannot drift
+// apart field-by-field.
+func (s Stats) String() string {
+	return fmt.Sprintf("engine: %d simulations, %d memory hits, %d store hits\n"+
+		"engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused; %.1f MiB resident",
+		s.Simulations, s.MemHits, s.StoreHits,
+		s.TraceRecords, s.TraceHits, s.PlanBuilds, s.PlanHits, float64(s.TraceBytes)/(1<<20))
 }
 
 // Stats returns a snapshot of the runner's counters.

@@ -315,26 +315,41 @@ func (r *Runner) SweepSampled(ctx context.Context, spec *SweepSpec, sc sample.Co
 	return r.sweep(ctx, spec, &sc)
 }
 
-func (r *Runner) sweep(ctx context.Context, spec *SweepSpec, sc *sample.Config) (*SweepResult, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
+// Resolve validates the spec and expands it into its execution cells:
+// the benchmarks it selects (registry order) and the machine configs it
+// simulates, with the reference at index 0 followed by the variants in
+// spec order. Every (benchmark, config) pair is one cell of the sweep —
+// this is the hook a serving layer uses to run cells individually (for
+// per-cell progress) while still producing a SweepResult the standard
+// formatters understand.
+func (s *SweepSpec) Resolve() ([]*workloads.Benchmark, []pipeline.Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
 	}
-	benches := spec.benches()
+	benches := s.benches()
 	if len(benches) == 0 {
-		return nil, fmt.Errorf("exper: sweep spec selects no benchmarks")
+		return nil, nil, fmt.Errorf("exper: sweep spec selects no benchmarks")
 	}
-	ref, err := spec.reference()
+	ref, err := s.reference()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	cfgs := make([]pipeline.Config, 0, len(spec.Variants)+1)
+	cfgs := make([]pipeline.Config, 0, len(s.Variants)+1)
 	cfgs = append(cfgs, ref)
-	for i := range spec.Variants {
-		cfg, err := spec.Variants[i].config()
+	for i := range s.Variants {
+		cfg, err := s.Variants[i].config()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfgs = append(cfgs, cfg)
+	}
+	return benches, cfgs, nil
+}
+
+func (r *Runner) sweep(ctx context.Context, spec *SweepSpec, sc *sample.Config) (*SweepResult, error) {
+	benches, cfgs, err := spec.Resolve()
+	if err != nil {
+		return nil, err
 	}
 	var cells [][]*pipeline.Result
 	if sc != nil {

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errDraining rejects submissions while the server shuts down (503).
+var errDraining = errors.New("serve: draining, not accepting new jobs")
+
+// shedError rejects a submission under load (429). RetryAfter is the
+// suggested client backoff in seconds, scaled to the backlog.
+type shedError struct {
+	RetryAfter int
+	Reason     string
+}
+
+func (e *shedError) Error() string { return "serve: " + e.Reason }
+
+// retryAfter suggests a backoff for a queue currently holding n jobs.
+func retryAfter(n int) int {
+	s := 1 + 2*n
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// sched is the bounded job scheduler: one wait queue per SLO class,
+// a global running-jobs cap, and a per-tenant running cap. Dispatch
+// order is class priority (critical, sheddable, batch), FIFO within a
+// class, skipping — not blocking behind — jobs whose tenant is at its
+// limit.
+type sched struct {
+	maxJobs    int
+	tenantJobs int
+	queueDepth int
+
+	// run executes one dispatched job synchronously; the scheduler
+	// calls it on a fresh goroutine and accounts completion itself.
+	run func(*Job)
+	// evict is called (unlocked) for queued jobs dropped by a drain.
+	evict func(*Job)
+
+	mu       sync.Mutex
+	queues   [numClasses][]*Job
+	running  int
+	tenants  map[string]int
+	draining bool
+	shed     uint64
+	wg       sync.WaitGroup
+}
+
+func newSched(maxJobs, tenantJobs, queueDepth int, run, evict func(*Job)) *sched {
+	return &sched{
+		maxJobs:    maxJobs,
+		tenantJobs: tenantJobs,
+		queueDepth: queueDepth,
+		run:        run,
+		evict:      evict,
+		tenants:    map[string]int{},
+	}
+}
+
+// submit admits j or rejects it: errDraining during shutdown, or a
+// *shedError when j's class queue is full — or, for non-critical
+// classes, when the critical queue is full (load shedding: bulk work
+// yields to the interactive backlog instead of queueing behind it).
+func (s *sched) submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if n := len(s.queues[j.Class]); n >= s.queueDepth {
+		s.shed++
+		return &shedError{retryAfter(n), fmt.Sprintf("%s queue full (%d queued)", j.Class, n)}
+	}
+	if j.Class != Critical {
+		if n := len(s.queues[Critical]); n >= s.queueDepth {
+			s.shed++
+			return &shedError{retryAfter(n), fmt.Sprintf("shedding %s load: critical backlog full (%d queued)", j.Class, n)}
+		}
+	}
+	s.queues[j.Class] = append(s.queues[j.Class], j)
+	s.dispatchLocked()
+	return nil
+}
+
+// remove pulls a still-queued job out of its wait queue, reporting
+// whether it was found (false means it already dispatched or finished).
+func (s *sched) remove(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[j.Class]
+	for i, x := range q {
+		if x == j {
+			s.queues[j.Class] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked starts queued jobs while worker slots are free.
+func (s *sched) dispatchLocked() {
+	for s.running < s.maxJobs {
+		j := s.popLocked()
+		if j == nil {
+			return
+		}
+		s.running++
+		s.tenants[j.Tenant]++
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.run(j)
+			s.finish(j)
+		}()
+	}
+}
+
+// popLocked picks the next runnable job: classes in priority order,
+// FIFO within a class, skipping tenants at their running limit.
+func (s *sched) popLocked() *Job {
+	for c := Class(0); c < numClasses; c++ {
+		for i, j := range s.queues[c] {
+			if s.tenants[j.Tenant] >= s.tenantJobs {
+				continue
+			}
+			q := s.queues[c]
+			s.queues[c] = append(q[:i:i], q[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+// finish returns j's worker and tenant slots and dispatches more work.
+func (s *sched) finish(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	if s.tenants[j.Tenant]--; s.tenants[j.Tenant] <= 0 {
+		delete(s.tenants, j.Tenant)
+	}
+	s.dispatchLocked()
+}
+
+// depths snapshots the per-class queue lengths, the running-job count,
+// and the shed (load-rejected) total.
+func (s *sched) depths() (queues map[string]int, running int, shed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queues = make(map[string]int, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		queues[c.String()] = len(s.queues[c])
+	}
+	return queues, s.running, s.shed
+}
+
+// drain shuts the scheduler down gracefully: stop admission, evict
+// every queued job, and wait for running jobs to finish. If ctx
+// expires first, cancelRunning is invoked (it cancels the running
+// jobs' contexts, aborting their simulations through the engine's
+// cancellation seams) and drain still waits for the workers to exit —
+// cancellation makes that prompt.
+func (s *sched) drain(ctx context.Context, cancelRunning func()) {
+	s.mu.Lock()
+	s.draining = true
+	var evicted []*Job
+	for c := range s.queues {
+		evicted = append(evicted, s.queues[c]...)
+		s.queues[c] = nil
+	}
+	s.mu.Unlock()
+	for _, j := range evicted {
+		s.evict(j)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		cancelRunning()
+		<-done
+	}
+}

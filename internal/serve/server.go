@@ -1,0 +1,612 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exper"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultMaxJobs is the default concurrent-job cap. Jobs fan their
+	// cells out over the engine's own worker pool, so a small number of
+	// concurrent jobs already saturates the simulator.
+	DefaultMaxJobs = 2
+	// DefaultTenantJobs is the default per-tenant running-job cap.
+	DefaultTenantJobs = 1
+	// DefaultQueueDepth is the default per-class wait-queue cap.
+	DefaultQueueDepth = 64
+	// DefaultProgressInterval is the engine-telemetry granularity
+	// (cycles) behind SSE progress events.
+	DefaultProgressInterval = 250_000
+)
+
+// Config tunes a Server. The zero value gets the defaults above.
+type Config struct {
+	// MaxJobs bounds concurrently running jobs (not simulations — the
+	// engine's worker pool bounds those).
+	MaxJobs int
+	// TenantJobs bounds running jobs per tenant.
+	TenantJobs int
+	// QueueDepth bounds each SLO class's wait queue.
+	QueueDepth int
+	// ProgressInterval is the cycle granularity of SSE interval
+	// telemetry (0 = DefaultProgressInterval; < 0 disables the
+	// engine observer entirely).
+	ProgressInterval int64
+	// Logf, when set, receives operational log lines (listen address,
+	// job lifecycle, drain progress).
+	Logf func(format string, args ...any)
+}
+
+// watchKey routes engine progress telemetry to the jobs running that
+// cell: the config content hash plus the benchmark name.
+type watchKey struct {
+	cfg   string
+	bench string
+}
+
+// Server is the multi-tenant sweep service: an HTTP handler (Handler),
+// a job registry, and a bounded SLO-class scheduler, all executing
+// through one shared exper.Runner so identical cells dedupe across
+// clients. Build with New; serve with ListenAndServe or mount
+// Handler() yourself and call Shutdown for graceful drain.
+type Server struct {
+	engine *exper.Runner
+	cfg    Config
+	sched  *sched
+
+	// baseCtx parents every job's run context; baseCancel is the
+	// last-resort kill switch at the end of Shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// execute runs one job's sweep; tests stub it.
+	execute func(context.Context, *Job) (*exper.SweepResult, error)
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	watch    map[watchKey]map[*Job]bool
+	draining bool
+
+	nextID atomic.Uint64
+	start  time.Time
+}
+
+// New builds a Server over engine. The engine should already carry its
+// store/trace configuration; the server only adds an observer for SSE
+// interval telemetry (unless cfg.ProgressInterval < 0).
+func New(engine *exper.Runner, cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.TenantJobs <= 0 {
+		cfg.TenantJobs = DefaultTenantJobs
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		engine:     engine,
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		watch:      map[watchKey]map[*Job]bool{},
+		start:      time.Now(),
+	}
+	s.execute = s.runSweep
+	s.sched = newSched(cfg.MaxJobs, cfg.TenantJobs, cfg.QueueDepth, s.runJob, s.evictJob)
+	if cfg.ProgressInterval >= 0 {
+		every := cfg.ProgressInterval
+		if every == 0 {
+			every = DefaultProgressInterval
+		}
+		engine.SetProgressInterval(uint64(every))
+		engine.Observe(s.routeProgress)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// ListenAndServe serves on addr until ctx is canceled (SIGINT/SIGTERM
+// in the CLI), then drains gracefully for up to drainTimeout: admission
+// stops, queued jobs are canceled, running jobs finish — or, past the
+// timeout, abort through context cancellation. It returns nil after a
+// clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logf("serve: listening on %s", ln.Addr())
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("serve: draining (up to %s)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	s.Shutdown(dctx)
+	_ = hs.Shutdown(dctx)
+	s.cfg.Logf("serve: drained")
+	return nil
+}
+
+// Shutdown drains the service: no new submissions (503), queued jobs
+// canceled, running jobs drained — forcibly via context cancellation
+// once ctx expires. Safe to call once; ListenAndServe calls it for you.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.sched.drain(ctx, s.cancelRunning)
+	s.baseCancel()
+}
+
+// cancelRunning cancels every running job's context (drain deadline).
+func (s *Server) cancelRunning() {
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// evictJob cancels a job the drain pulled out of a wait queue.
+func (s *Server) evictJob(j *Job) {
+	j.finishCanceled("server draining before the job started")
+}
+
+// runJob executes one dispatched job (called on a scheduler goroutine).
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.begin(cancel) {
+		return // canceled while queued
+	}
+	s.cfg.Logf("serve: job %s start (%s, tenant %s, %d cells)", j.ID, j.Class, j.Tenant, j.totalCells())
+	s.watchCells(j)
+	defer s.unwatchCells(j)
+	res, err := s.execute(ctx, j)
+	switch {
+	case err == nil:
+		j.finishDone(renderResult(res))
+		s.cfg.Logf("serve: job %s done", j.ID)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finishCanceled(err.Error())
+		s.cfg.Logf("serve: job %s canceled: %v", j.ID, err)
+	default:
+		j.finishFailed(err)
+		s.cfg.Logf("serve: job %s failed: %v", j.ID, err)
+	}
+}
+
+// runSweep executes j's cells over the shared engine, emitting one cell
+// event per completion. Identical cells across concurrent jobs collapse
+// in the engine's singleflight (and read through the persistent store),
+// so this loop costs one simulation per unique cell process-wide.
+func (s *Server) runSweep(ctx context.Context, j *Job) (*exper.SweepResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cells := make([][]*pipeline.Result, len(j.benches))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for bi := range j.benches {
+		cells[bi] = make([]*pipeline.Result, len(j.cfgs))
+		for ci := range j.cfgs {
+			wg.Add(1)
+			go func(bi, ci int) {
+				defer wg.Done()
+				b := j.benches[bi]
+				var (
+					res *pipeline.Result
+					err error
+				)
+				if j.sampled != nil {
+					var sr *sample.Result
+					sr, err = s.engine.RunSampled(ctx, j.cfgs[ci], b, j.spec.Scale, *j.sampled)
+					if err == nil {
+						res = sr.Estimate()
+					}
+				} else {
+					res, err = s.engine.Run(ctx, j.cfgs[ci], b, j.spec.Scale)
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				cells[bi][ci] = res
+				j.cellDone(b.Name, j.cfgs[ci].Name)
+			}(bi, ci)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &exper.SweepResult{Spec: j.spec, Benches: j.benches, Cells: cells}, nil
+}
+
+// renderResult formats a finished sweep as its JobResult payload.
+func renderResult(sr *exper.SweepResult) *JobResult {
+	var buf bytes.Buffer
+	_ = sr.WriteTable(&buf)
+	out := &JobResult{
+		Table:      buf.String(),
+		Benchmarks: make([]string, len(sr.Benches)),
+		Variants:   make([]string, len(sr.Spec.Variants)),
+		Speedups:   make([][]float64, len(sr.Benches)),
+	}
+	for bi, b := range sr.Benches {
+		out.Benchmarks[bi] = b.Name
+		out.Speedups[bi] = make([]float64, len(sr.Spec.Variants))
+		for vi := range sr.Spec.Variants {
+			out.Speedups[bi][vi] = sr.Speedup(bi, vi)
+		}
+	}
+	for vi, v := range sr.Spec.Variants {
+		out.Variants[vi] = v.Label
+	}
+	return out
+}
+
+// watchCells routes engine interval telemetry for j's cells to j.
+func (s *Server) watchCells(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range j.benches {
+		for i := range j.cfgs {
+			k := watchKey{cfg: j.cfgs[i].Key(), bench: b.Name}
+			m := s.watch[k]
+			if m == nil {
+				m = map[*Job]bool{}
+				s.watch[k] = m
+			}
+			m[j] = true
+		}
+	}
+}
+
+func (s *Server) unwatchCells(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range j.benches {
+		for i := range j.cfgs {
+			k := watchKey{cfg: j.cfgs[i].Key(), bench: b.Name}
+			if m := s.watch[k]; m != nil {
+				delete(m, j)
+				if len(m) == 0 {
+					delete(s.watch, k)
+				}
+			}
+		}
+	}
+}
+
+// routeProgress fans one engine telemetry interval out to the jobs
+// whose sweeps contain that cell, as ephemeral SSE progress events.
+func (s *Server) routeProgress(p exper.Progress) {
+	k := watchKey{cfg: p.ConfigKey, bench: p.Benchmark}
+	s.mu.Lock()
+	var jobs []*Job
+	for j := range s.watch[k] {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	data := map[string]any{
+		"benchmark": p.Benchmark,
+		"machine":   p.Machine,
+		"scale":     p.Scale,
+		"cycle":     p.Interval.EndCycle(),
+		"retired":   p.Interval.Retired,
+		"ipc":       p.Interval.IPC(),
+	}
+	for _, j := range jobs {
+		j.emit("progress", data, false)
+	}
+}
+
+// submitRequest is the POST /v1/sweeps body: the tenant/SLO envelope
+// around a standard exper sweep spec.
+type submitRequest struct {
+	Tenant  string          `json:"tenant,omitempty"`
+	SLO     string          `json:"slo,omitempty"`
+	Sampled bool            `json:"sampled,omitempty"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	class, err := ParseClass(req.SLO)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("serve: request has no sweep spec"))
+		return
+	}
+	spec, err := exper.ParseSpec(req.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	benches, cfgs, err := spec.Resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var sc *sample.Config
+	if req.Sampled {
+		c := sample.DefaultConfig()
+		sc = &c
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	id := fmt.Sprintf("j%06d", s.nextID.Add(1))
+	j := newJob(id, tenant, class, spec, sc, benches, cfgs)
+
+	// Register before admission so the scheduler can dispatch the job
+	// the instant it is admitted; a rejected submission is unregistered
+	// again (the client never learned its ID).
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.sched.submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, x := range s.order {
+			if x == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		var shed *shedError
+		switch {
+		case errors.As(err, &shed):
+			w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": err.Error(), "retry_after_s": shed.RetryAfter,
+			})
+		case errors.Is(err, errDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil && (tenant == "" || j.Tenant == tenant) {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// job looks a registered job up by the request's {id} path value,
+// writing the 404 itself when absent.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	// A queued job leaves its wait queue; a running one is aborted
+	// through its context. Either way the terminal event is canceled.
+	if s.sched.remove(j) {
+		j.finishCanceled("canceled by client before start")
+	} else {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	backlog, ch := j.subscribe(after)
+	defer j.unsubscribe(ch)
+	for _, ev := range backlog {
+		writeEvent(w, ev)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal event delivered (or stream dropped)
+			}
+			writeEvent(w, ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent renders one SSE frame. Event data is JSON, which never
+// contains raw newlines, so a single data: line suffices.
+func writeEvent(w http.ResponseWriter, ev Event) {
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, ev.Data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics is the GET /metrics payload: the engine's Stats snapshot
+// (one simulation per unique cell ever, when a store is attached),
+// scheduler queue depths per SLO class, job-state counts, and the
+// total of load-shed (429) submissions.
+type Metrics struct {
+	Engine        exper.Stats    `json:"engine"`
+	Queues        map[string]int `json:"queues"`
+	Running       int            `json:"running"`
+	Jobs          map[string]int `json:"jobs"`
+	Shed          uint64         `json:"shed"`
+	UptimeSeconds float64        `json:"uptime_s"`
+}
+
+// MetricsSnapshot assembles the current Metrics (also used by tests).
+func (s *Server) MetricsSnapshot() Metrics {
+	queues, running, shed := s.sched.depths()
+	m := Metrics{
+		Engine:        s.engine.Stats(),
+		Queues:        queues,
+		Running:       running,
+		Jobs:          map[string]int{},
+		Shed:          shed,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		m.Jobs[string(j.State())]++
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// writeJSON writes v as an indented JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

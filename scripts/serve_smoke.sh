@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Serve smoke test: boot the sweep service, submit a sweep over HTTP,
+# stream its SSE events to the terminal done event, verify /metrics,
+# drain cleanly on SIGTERM — then restart against the same store,
+# re-submit the identical sweep, and assert the warm service performs
+# zero simulations (every cell reads through the persistent store).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-/tmp/contopt-serve-smoke}
+STORE=$(mktemp -d)
+LOG=$(mktemp)
+EVENTS=$(mktemp)
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$STORE" "$LOG" "$EVENTS"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: $1" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+go build -o "$BIN" ./cmd/contopt
+
+start_server() {
+  : > "$LOG"
+  "$BIN" serve -addr 127.0.0.1:0 -store "$STORE" 2>> "$LOG" &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serve: listening on //p' "$LOG")
+    [ -n "$ADDR" ] && return 0
+    sleep 0.1
+  done
+  fail "server did not report a listen address"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+  grep -q "serve: drained" "$LOG" || fail "server log missing graceful-drain marker"
+  SERVER_PID=""
+}
+
+SPEC='{"tenant":"ci","slo":"critical","spec":{"title":"serve smoke","benchmarks":["mcf","untst"],"scale":1,"per_benchmark":true,"variants":[{"label":"opt"}]}}'
+
+submit_and_stream() {
+  JOB=$(curl -sf "http://$ADDR/v1/sweeps" -d "$SPEC" \
+    | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4)
+  [ -n "$JOB" ] || fail "submission returned no job id"
+  echo "serve_smoke: job $JOB on $ADDR"
+  # The server closes the SSE stream right after the terminal event.
+  curl -sN --max-time 120 "http://$ADDR/v1/jobs/$JOB/events" > "$EVENTS"
+  grep -q '^event: queued' "$EVENTS" || fail "stream missing queued event"
+  grep -q '^event: cell' "$EVENTS" || fail "stream missing cell events"
+  tail -4 "$EVENTS" | grep -q '^event: done' || fail "stream did not end with a done event"
+  grep -A2 '^event: done' "$EVENTS" | grep -q '"table"' \
+    || fail "done event missing the result payload"
+  curl -sf "http://$ADDR/v1/jobs/$JOB" | grep -q '"state": "done"' \
+    || fail "job not done after terminal event"
+}
+
+# Cold service: the sweep's 4 cells (2 benchmarks x 2 machines) all
+# simulate, and persist to the store.
+start_server
+submit_and_stream
+curl -sf "http://$ADDR/metrics" | grep -q '"simulations": 4' \
+  || fail "cold metrics should report 4 simulations"
+stop_server
+
+# Warm restart on the same store: the identical sweep completes without
+# a single simulation.
+start_server
+submit_and_stream
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '"simulations": 0' \
+  || fail "warm metrics should report 0 simulations, got: $METRICS"
+echo "$METRICS" | grep -q '"store_hits": 4' \
+  || fail "warm metrics should report 4 store hits, got: $METRICS"
+stop_server
+
+echo "serve_smoke: ok (cold 4 simulations, warm 0 with 4 store hits)"
