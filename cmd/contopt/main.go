@@ -5,6 +5,9 @@
 // Usage:
 //
 //	contopt list [-v]                 workload inventory (Table 1)
+//	contopt scen <gen|list|validate|figure>
+//	                                  declarative scenario specs: seeded
+//	                                  workload generation (internal/scenario)
 //	contopt run <bench> [flags]       simulate one benchmark, both machines
 //	contopt figure6|table3            headline results
 //	contopt figure8|figure9|figure10|figure11|figure12
@@ -23,6 +26,15 @@
 // reference machine, labeled config variants) and prints the speedup
 // table — arbitrary sweeps without writing Go; see exper.SweepSpec for
 // the schema and examples/sweeps/ for samples.
+//
+// Scenario generation: "contopt scen" turns a versioned, seeded JSON
+// scenario spec (examples/scenarios/) into synthetic benchmarks drawn
+// from parameterized kernel families, each tagged with a behavior class
+// (memory-bound, branchy, ilp-rich, mixed). Generation is deterministic
+// — the same spec and seed emit byte-identical assembly — and every
+// generated program provably halts within a declared instruction cap.
+// Sweep specs reference scenario specs via their "scenarios" field and
+// can slice result tables by class with "group_by": "class".
 //
 // Execution is context-driven end to end: Ctrl-C (SIGINT/SIGTERM)
 // aborts the in-flight simulations promptly and reports how far the
@@ -281,6 +293,8 @@ func run(ctx context.Context, args []string) error {
 	switch cmd {
 	case "list":
 		return list(ctx, out, engine, *verbose, *scale)
+	case "scen":
+		return scenCmd(ctx, out, opts, fs.Args())
 	case "run":
 		rest := fs.Args()
 		if len(rest) != 1 {
@@ -351,14 +365,16 @@ func run(ctx context.Context, args []string) error {
 	}
 }
 
-// list prints the workload inventory. With verbose set it also computes
-// each benchmark's dynamic instruction count at the effective scale via
-// the emulator (memoized in the engine) — the number to pick sane
-// sampling windows against.
+// list prints the workload inventory with each benchmark's behavior
+// class (built-ins plus any generated scenarios registered this
+// process). With verbose set it also computes each benchmark's dynamic
+// instruction count at the effective scale via the emulator (memoized
+// in the engine) — the number to pick sane sampling windows against.
 func list(ctx context.Context, out *os.File, engine *exper.Runner, verbose bool, scale int) error {
+	benches := append(workloads.All(), workloads.GeneratedBenchmarks()...)
 	if !verbose {
-		for _, b := range workloads.All() {
-			fmt.Fprintf(out, "%-11s %-7s %s\n", b.Suite, b.Name, b.Notes)
+		for _, b := range benches {
+			fmt.Fprintf(out, "%-11s %-7s %-12s %s\n", b.Suite, b.Name, b.Class, b.Notes)
 		}
 		return nil
 	}
@@ -367,7 +383,6 @@ func list(ctx context.Context, out *os.File, engine *exper.Runner, verbose bool,
 		n   uint64
 		err error
 	}
-	benches := workloads.All()
 	rows := make([]row, len(benches))
 	var wg sync.WaitGroup
 	for i, b := range benches {
@@ -383,7 +398,7 @@ func list(ctx context.Context, out *os.File, engine *exper.Runner, verbose bool,
 		if r.err != nil {
 			return r.err
 		}
-		fmt.Fprintf(out, "%-11s %-7s %10d insts  %s\n", r.b.Suite, r.b.Name, r.n, r.b.Notes)
+		fmt.Fprintf(out, "%-11s %-7s %-12s %10d insts  %s\n", r.b.Suite, r.b.Name, r.b.Class, r.n, r.b.Notes)
 	}
 	return nil
 }
@@ -571,7 +586,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: contopt <command> [flags]
 
 commands:
-  list        workload inventory (-v adds dynamic instruction counts)
+  list        workload inventory with behavior classes (-v adds dynamic
+              instruction counts)
+  scen <gen|list|validate|figure>
+              declarative scenario specs: list kernel families, validate
+              a spec, emit its generated assembly (deterministic per
+              seed), or report speedups sliced by behavior class
   run <name>  simulate one benchmark on both machines
   table1      workload instruction counts
   figure6     per-benchmark speedups

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+// scenCmd implements "contopt scen {list|validate|gen|figure}": the CLI
+// surface of the declarative scenario generator (internal/scenario).
+//
+//	scen list                    registered kernel families and their knobs
+//	scen validate <spec.json>    check a spec and summarize its scenarios
+//	scen gen [-seed S] [-o DIR] <spec.json>
+//	                             emit the generated assembly (stdout or DIR)
+//	scen figure [-seed S] <spec.json>
+//	                             baseline-vs-optimized speedups by behavior class
+//
+// Generation is deterministic: the same spec and seed produce
+// byte-identical assembly in every invocation, so "gen" output can be
+// diffed across runs and generated benchmarks hit the persistent store
+// warm. The global flags (-scale, -store, -parallel, -v, ...) apply; the
+// subcommand's own flags follow the subcommand name.
+func scenCmd(ctx context.Context, out *os.File, opts harness.Options, args []string) error {
+	usage := fmt.Errorf("usage: contopt scen {list|validate|gen|figure} [-seed S] [-o DIR] [spec.json]")
+	if len(args) == 0 {
+		return usage
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("contopt scen "+sub, flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "override the spec's root seed")
+	outDir := fs.String("o", "", "gen: write one <name>.s file per scenario into this directory (default stdout)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+
+	if sub == "list" {
+		for _, f := range scenario.Families() {
+			fmt.Fprintf(out, "%-8s %s\n", f.Name, f.Doc)
+			for _, k := range f.Knobs {
+				fmt.Fprintf(out, "         %s\n", k)
+			}
+		}
+		return nil
+	}
+
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return usage
+	}
+	spec, err := scenario.LoadSpec(rest[0])
+	if err != nil {
+		return err
+	}
+	if seedSet {
+		spec.Seed = *seed
+	}
+	scens, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "validate":
+		for _, sc := range scens {
+			fmt.Fprintf(out, "%-12s %-8s %-12s scale %d  %s\n",
+				sc.Name, sc.Family, sc.Class, sc.Scale, scenario.FormatParams(sc.Params))
+		}
+		fmt.Fprintf(out, "ok: %d scenarios (seed %#x)\n", len(scens), spec.Seed)
+		return nil
+	case "gen":
+		if *outDir == "" {
+			for _, sc := range scens {
+				fmt.Fprint(out, sc.Source(opts.Scale))
+			}
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, sc := range scens {
+			src := sc.Source(opts.Scale)
+			path := filepath.Join(*outDir, sc.Name+".s")
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s (%s, %d bytes)\n", path, sc.Class, len(src))
+		}
+		return nil
+	case "figure":
+		benches, err := spec.Materialize()
+		if err != nil {
+			return err
+		}
+		return opts.ClassFigure(ctx, out, benches)
+	default:
+		return fmt.Errorf("scen: unknown action %q (want list, validate, gen or figure)", sub)
+	}
+}

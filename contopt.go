@@ -59,6 +59,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/workloads"
@@ -235,6 +236,35 @@ func LoadSweepSpec(path string) (*SweepSpec, error) { return exper.LoadSpec(path
 
 // ParseSweepSpec decodes and validates a JSON sweep spec.
 func ParseSweepSpec(data []byte) (*SweepSpec, error) { return exper.ParseSpec(data) }
+
+// ScenarioSpec is a declarative, versioned, seeded description of a
+// generated workload set: parameterized kernel families expanded into
+// deterministic synthetic benchmarks tagged with behavior classes. See
+// scenario.Spec for the JSON schema and "contopt scen" for the CLI.
+type ScenarioSpec = scenario.Spec
+
+// Scenario is one generated workload: resolved knobs, a derived
+// sub-seed, a behavior class, and a deterministic Source/InstCap pair.
+type Scenario = scenario.Scenario
+
+// LoadScenarioSpec reads and validates a JSON scenario spec file.
+func LoadScenarioSpec(path string) (*ScenarioSpec, error) { return scenario.LoadSpec(path) }
+
+// ParseScenarioSpec decodes and validates a JSON scenario spec.
+func ParseScenarioSpec(data []byte) (*ScenarioSpec, error) { return scenario.ParseSpec(data) }
+
+// GenerateScenarios expands a scenario spec into its scenarios without
+// registering them; the result is deterministic per (spec, seed).
+func GenerateScenarios(spec *ScenarioSpec) ([]*Scenario, error) { return spec.Generate() }
+
+// MaterializeScenarios generates spec's scenarios and registers them as
+// benchmarks resolvable by BenchmarkByName and runnable by engines and
+// sweeps, returning them in spec order. Idempotent per spec content.
+func MaterializeScenarios(spec *ScenarioSpec) ([]*Benchmark, error) { return spec.Materialize() }
+
+// BehaviorClasses returns the canonical behavior-class tags
+// (memory-bound, branchy, ilp-rich, mixed) carried by every benchmark.
+func BehaviorClasses() []string { return workloads.Classes() }
 
 // Assemble translates CO64 assembly into an executable program.
 func Assemble(name, source string) (*Program, error) {

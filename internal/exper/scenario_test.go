@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const inlineScenarioSweep = `{
+	"title": "scenario sweep",
+	"scale": 1,
+	"per_benchmark": true,
+	"group_by": "class",
+	"scenarios": {
+		"seed": 11,
+		"scenarios": [
+			{"family": "stream", "name": "xstream", "params": {"elems": 128}},
+			{"family": "branchy", "name": "xbranch", "params": {"elems": 64}},
+			{"family": "ilp", "name": "xilp", "params": {"iters": 64}}
+		]
+	},
+	"variants": [{"label": "opt"}]
+}`
+
+// TestSweepInlineScenarios: a sweep spec can carry a scenario spec
+// inline; the generated benchmarks run through the engine and the table
+// groups by behavior class.
+func TestSweepInlineScenarios(t *testing.T) {
+	spec, err := ParseSpec([]byte(inlineScenarioSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := spec.benches()
+	if len(benches) != 3 {
+		t.Fatalf("selected %d benchmarks, want the 3 scenarios", len(benches))
+	}
+	r := NewRunner(0)
+	sr, err := r.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"xstream", "xbranch", "xilp", "memory-bound", "branchy", "ilp-rich", "all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("class-grouped table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SPECint") {
+		t.Errorf("scenarios-only sweep should not report built-in suites:\n%s", out)
+	}
+}
+
+// TestSweepScenarioPathRelative: a scenarios path in a sweep-spec file
+// resolves relative to that file's directory.
+func TestSweepScenarioPathRelative(t *testing.T) {
+	dir := t.TempDir()
+	scen := `{"seed": 5, "scenarios": [{"family": "chase", "name": "pchase", "params": {"nodes": 32, "hops": 64}}]}`
+	if err := os.WriteFile(filepath.Join(dir, "scen.json"), []byte(scen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweep := `{"scenarios": "scen.json", "variants": [{"label": "opt"}]}`
+	path := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(path, []byte(sweep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := spec.benches()
+	if len(benches) != 1 || benches[0].Name != "pchase" {
+		t.Fatalf("benches = %v, want [pchase]", benches)
+	}
+
+	// The same relative path fails when the spec is parsed from bytes
+	// with no base directory and the file is not under the cwd.
+	if _, err := ParseSpec([]byte(sweep)); err == nil {
+		t.Error("expected error resolving scen.json against the cwd")
+	} else if !strings.Contains(err.Error(), "scenarios") {
+		t.Errorf("error should name the scenarios field: %v", err)
+	}
+}
+
+// TestSweepScenariosUnionWithFilters: scenario benches union with
+// suite/benchmark filters instead of replacing them.
+func TestSweepScenariosUnionWithFilters(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"benchmarks": ["mcf"],
+		"scenarios": {"seed": 2, "scenarios": [{"family": "ilp", "name": "uilp", "params": {"iters": 16}}]},
+		"variants": [{"label": "opt"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := spec.benches()
+	if len(benches) != 2 || benches[0].Name != "mcf" || benches[1].Name != "uilp" {
+		names := make([]string, len(benches))
+		for i, b := range benches {
+			names[i] = b.Name
+		}
+		t.Fatalf("benches = %v, want [mcf uilp]", names)
+	}
+}
+
+// TestSweepScenarioErrorsNameFields: scenario and group_by problems
+// surface with their field paths.
+func TestSweepScenarioErrorsNameFields(t *testing.T) {
+	cases := []struct{ name, json, want string }{
+		{"bad group_by", `{"group_by": "vibe", "variants": [{"label": "a"}]}`, "group_by"},
+		{"bad inline scenario", `{"scenarios": {"scenarios": [{"family": "nope"}]}, "variants": [{"label": "a"}]}`, "scenarios[0].family"},
+		{"empty path", `{"scenarios": "", "variants": [{"label": "a"}]}`, "scenarios"},
+		{"missing file", `{"scenarios": "/nonexistent/spec.json", "variants": [{"label": "a"}]}`, "scenarios"},
+		{"unknown scenario field", `{"scenarios": {"scenarios": [], "bogus": 1}, "variants": [{"label": "a"}]}`, "scenarios"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(c.json))
+			if err == nil {
+				t.Fatalf("spec %s parsed without error", c.json)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestValidateErrorFieldPaths pins the upgraded sweep-spec validation:
+// errors carry the offending field path.
+func TestValidateErrorFieldPaths(t *testing.T) {
+	cases := []struct{ name, json, want string }{
+		{"no variants", `{"title": "t"}`, "variants:"},
+		{"unlabeled", `{"variants": [{"label": "a"}, {}]}`, "variants[1].label"},
+		{"duplicate", `{"variants": [{"label": "a"}, {"label": "a"}]}`, "variants[1].label"},
+		{"bad suite", `{"suites": ["mediabench", "SPECweb"], "variants": [{"label": "a"}]}`, "suites[1]"},
+		{"bad bench", `{"benchmarks": ["mcf", "nfs"], "variants": [{"label": "a"}]}`, "benchmarks[1]"},
+		{"bad variant config", `{"variants": [{"label": "a"}, {"label": "b", "set": {"Nope": 1}}]}`, "variants[1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(c.json))
+			if err == nil {
+				t.Fatalf("spec %s parsed without error", c.json)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not carry field path %q", err, c.want)
+			}
+		})
+	}
+}

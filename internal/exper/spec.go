@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 )
 
@@ -49,13 +51,61 @@ type SweepSpec struct {
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Scale overrides each benchmark's default iteration scale when > 0.
 	Scale int `json:"scale,omitempty"`
+	// Scenarios adds generated workloads (internal/scenario) to the
+	// sweep: a scenario-spec file path (resolved against the sweep-spec
+	// file's directory when loaded from disk) or an inline scenario spec
+	// object. With no suite/benchmark filters the sweep runs only the
+	// generated scenarios; with filters, their union.
+	Scenarios *ScenarioRef `json:"scenarios,omitempty"`
 	// Reference is the machine speedups are measured against. Nil means
 	// the default machine's baseline (optimizer off).
 	Reference *VariantSpec `json:"reference,omitempty"`
 	// Variants are the machines under test, one table column each.
 	Variants []VariantSpec `json:"variants"`
-	// PerBenchmark adds one row per benchmark above the suite geomeans.
+	// PerBenchmark adds one row per benchmark above the group geomeans.
 	PerBenchmark bool `json:"per_benchmark,omitempty"`
+	// GroupBy selects the table's geomean grouping: "suite" (default)
+	// or "class" (behavior-class slices).
+	GroupBy string `json:"group_by,omitempty"`
+
+	// baseDir resolves relative scenario-spec paths; set by LoadSpec.
+	baseDir string
+}
+
+// ScenarioRef references a scenario spec from a sweep spec: either a
+// JSON file path or the spec object inlined. Its JSON form is a string
+// or an object.
+type ScenarioRef struct {
+	Path   string
+	Inline *scenario.Spec
+}
+
+// UnmarshalJSON accepts "path/to/spec.json" or an inline spec object.
+func (r *ScenarioRef) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s == "" {
+			return fmt.Errorf("scenarios: empty scenario-spec path")
+		}
+		r.Path = s
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp scenario.Spec
+	if err := dec.Decode(&sp); err != nil {
+		return fmt.Errorf("scenarios: need a spec path or an inline scenario spec: %w", err)
+	}
+	r.Inline = &sp
+	return nil
+}
+
+// MarshalJSON writes the form ScenarioRef parses.
+func (r ScenarioRef) MarshalJSON() ([]byte, error) {
+	if r.Inline != nil {
+		return json.Marshal(r.Inline)
+	}
+	return json.Marshal(r.Path)
 }
 
 // VariantSpec describes one machine as a delta from the default config.
@@ -75,6 +125,35 @@ type VariantSpec struct {
 // ParseSpec decodes a JSON sweep spec, rejecting unknown fields, and
 // validates it.
 func ParseSpec(data []byte) (*SweepSpec, error) {
+	s, err := decodeSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a JSON sweep spec file. Relative scenario
+// paths in the spec resolve against the spec file's directory.
+func LoadSpec(path string) (*SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("exper: reading sweep spec: %w", err)
+	}
+	s, err := decodeSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	s.baseDir = filepath.Dir(path)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeSpec(data []byte) (*SweepSpec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var s SweepSpec
@@ -84,70 +163,109 @@ func ParseSpec(data []byte) (*SweepSpec, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("exper: parsing sweep spec: trailing content after the spec object")
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
 	return &s, nil
 }
 
-// LoadSpec reads and parses a JSON sweep spec file.
-func LoadSpec(path string) (*SweepSpec, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("exper: reading sweep spec: %w", err)
+// Validate checks the spec: at least one variant, unique non-empty
+// labels, known suites and benchmarks, a resolvable scenario reference,
+// and overrides that resolve to real config fields with compatible
+// values (each variant's config is built and checked with
+// pipeline.Config.Validate). Errors name the offending field path,
+// e.g. "exper: variants[1].label: duplicate label".
+func (s *SweepSpec) Validate() error {
+	if err := s.validate(); err != nil {
+		return fmt.Errorf("exper: %w", err)
 	}
-	return ParseSpec(data)
+	return nil
 }
 
-// Validate checks the spec: at least one variant, unique non-empty
-// labels, known suites and benchmarks, and overrides that resolve to
-// real config fields with compatible values (each variant's config is
-// built and checked with pipeline.Config.Validate).
-func (s *SweepSpec) Validate() error {
+func (s *SweepSpec) validate() error {
 	if len(s.Variants) == 0 {
-		return fmt.Errorf("exper: sweep spec needs at least one variant")
+		return scenario.Pathf("variants", "need at least one variant")
 	}
-	seen := map[string]bool{}
+	seen := map[string]int{}
 	for i, v := range s.Variants {
 		if v.Label == "" {
-			return fmt.Errorf("exper: variant %d has no label", i)
+			return scenario.Pathf(fmt.Sprintf("variants[%d].label", i), "variant has no label")
 		}
-		if seen[v.Label] {
-			return fmt.Errorf("exper: duplicate variant label %q", v.Label)
+		if prev, dup := seen[v.Label]; dup {
+			return scenario.Pathf(fmt.Sprintf("variants[%d].label", i), "duplicate label %q (already used by variants[%d])", v.Label, prev)
 		}
-		seen[v.Label] = true
+		seen[v.Label] = i
 	}
 	known := map[string]bool{}
 	for _, su := range workloads.Suites() {
 		known[su] = true
 	}
-	for _, su := range s.Suites {
+	for i, su := range s.Suites {
 		if !known[su] {
-			return fmt.Errorf("exper: unknown suite %q (have %v)", su, workloads.Suites())
+			return scenario.Pathf(fmt.Sprintf("suites[%d]", i), "unknown suite %q (have %v)", su, workloads.Suites())
 		}
 	}
-	for _, name := range s.Benchmarks {
+	for i, name := range s.Benchmarks {
 		if _, ok := workloads.ByName(name); !ok {
-			return fmt.Errorf("exper: unknown benchmark %q (try 'contopt list')", name)
+			return scenario.Pathf(fmt.Sprintf("benchmarks[%d]", i), "unknown benchmark %q (try 'contopt list')", name)
 		}
+	}
+	switch s.GroupBy {
+	case "", "suite", "class":
+	default:
+		return scenario.Pathf("group_by", "unknown group_by %q (want \"suite\" or \"class\")", s.GroupBy)
+	}
+	if _, err := s.scenarioBenches(); err != nil {
+		return err
 	}
 	if s.Reference != nil {
 		if _, err := s.Reference.config(); err != nil {
-			return fmt.Errorf("exper: reference: %w", err)
+			return scenario.Pathf("reference", "%v", err)
 		}
 	}
-	for _, v := range s.Variants {
-		if _, err := v.config(); err != nil {
-			return fmt.Errorf("exper: variant %q: %w", v.Label, err)
+	for i := range s.Variants {
+		if _, err := s.Variants[i].config(); err != nil {
+			return scenario.Pathf(fmt.Sprintf("variants[%d]", i), "%v", err)
 		}
 	}
 	return nil
 }
 
-// benches resolves the suite/benchmark filters against the registry,
-// preserving registry (suite) order.
+// scenarioBenches materializes the referenced scenario spec, if any,
+// into registered benchmarks. Materialization is idempotent, so calling
+// this from both Validate and benches is safe and cheap.
+func (s *SweepSpec) scenarioBenches() ([]*workloads.Benchmark, error) {
+	if s.Scenarios == nil {
+		return nil, nil
+	}
+	sp := s.Scenarios.Inline
+	if sp == nil {
+		p := s.Scenarios.Path
+		if !filepath.IsAbs(p) && s.baseDir != "" {
+			p = filepath.Join(s.baseDir, p)
+		}
+		loaded, err := scenario.LoadSpec(p)
+		if err != nil {
+			return nil, scenario.Pathf("scenarios", "%v", err)
+		}
+		sp = loaded
+	}
+	benches, err := sp.Materialize()
+	if err != nil {
+		return nil, scenario.Pathf("scenarios", "%v", err)
+	}
+	return benches, nil
+}
+
+// benches resolves the suite/benchmark/scenario filters against the
+// registry, preserving registry (suite) order with generated scenarios
+// after the built-ins.
 func (s *SweepSpec) benches() []*workloads.Benchmark {
+	scen, err := s.scenarioBenches()
+	if err != nil {
+		return nil // Validate reports this before benches is reached
+	}
 	if len(s.Suites) == 0 && len(s.Benchmarks) == 0 {
+		if s.Scenarios != nil {
+			return scen
+		}
 		return workloads.All()
 	}
 	want := map[string]bool{}
@@ -164,7 +282,18 @@ func (s *SweepSpec) benches() []*workloads.Benchmark {
 			out = append(out, b)
 		}
 	}
-	return out
+	// The benchmarks filter may also name previously registered
+	// generated scenarios.
+	inScen := map[string]bool{}
+	for _, b := range scen {
+		inScen[b.Name] = true
+	}
+	for _, b := range workloads.GeneratedBenchmarks() {
+		if want[b.Name] && !inScen[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return append(out, scen...)
 }
 
 // reference returns the reference machine config.
@@ -373,9 +502,45 @@ func (sr *SweepResult) Speedup(bi, vi int) float64 {
 	return sr.Cells[bi][vi+1].SpeedupOver(sr.Cells[bi][0])
 }
 
+// groupKey returns b's table-grouping key under the spec's GroupBy:
+// the behavior class for "class", the suite otherwise.
+func (sr *SweepResult) groupKey(b *workloads.Benchmark) string {
+	if sr.Spec.GroupBy == "class" {
+		if b.Class == "" {
+			return "unclassified"
+		}
+		return b.Class
+	}
+	return b.Suite
+}
+
+// groups returns the grouping keys in display order: the canonical
+// suite (or class) order first, then any other keys present in the
+// result in first-appearance order (e.g. the "generated" suite).
+func (sr *SweepResult) groups() []string {
+	var out []string
+	if sr.Spec.GroupBy == "class" {
+		out = workloads.Classes()
+	} else {
+		out = workloads.Suites()
+	}
+	seen := map[string]bool{}
+	for _, g := range out {
+		seen[g] = true
+	}
+	for _, b := range sr.Benches {
+		if k := sr.groupKey(b); !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // WriteTable prints the sweep as a speedup table: optional per-benchmark
-// rows, then one geomean row per suite present, then an overall geomean
-// row when more than one suite is present.
+// rows, then one geomean row per group present (suites by default,
+// behavior classes with group_by "class"), then an overall geomean row
+// when more than one group is present.
 func (sr *SweepResult) WriteTable(w io.Writer) error {
 	if sr.Spec.Title != "" {
 		fmt.Fprintln(w, sr.Spec.Title)
@@ -397,19 +562,19 @@ func (sr *SweepResult) WriteTable(w io.Writer) error {
 		}
 	}
 
-	suites := 0
-	for _, s := range workloads.Suites() {
+	groups := 0
+	for _, g := range sr.groups() {
 		var idx []int
 		for bi, b := range sr.Benches {
-			if b.Suite == s {
+			if sr.groupKey(b) == g {
 				idx = append(idx, bi)
 			}
 		}
 		if len(idx) == 0 {
 			continue
 		}
-		suites++
-		fmt.Fprint(tw, s)
+		groups++
+		fmt.Fprint(tw, g)
 		for vi := range sr.Spec.Variants {
 			vals := make([]float64, 0, len(idx))
 			for _, bi := range idx {
@@ -419,7 +584,7 @@ func (sr *SweepResult) WriteTable(w io.Writer) error {
 		}
 		fmt.Fprintln(tw)
 	}
-	if suites > 1 {
+	if groups > 1 {
 		fmt.Fprint(tw, "all")
 		for vi := range sr.Spec.Variants {
 			vals := make([]float64, 0, len(sr.Benches))

@@ -1,0 +1,40 @@
+// Package scenario grows the hand-written 22-kernel workload suite into
+// arbitrarily many generated scenarios: a versioned, seeded JSON spec
+// names parameterized kernel families and how many variants of each to
+// draw, and the generator materializes them as ordinary
+// workloads.Benchmark values that the engine, store, sampler and serve
+// layers consume unchanged.
+//
+// A scenario spec is declarative and deterministic:
+//
+//	{
+//	  "version": 1,
+//	  "seed": 42,
+//	  "scenarios": [
+//	    {"family": "stream", "count": 2,
+//	     "params": {"elems": [256, 4096], "stride": [1, 16]}},
+//	    {"family": "mix", "count": 3,
+//	     "params": {"mem": 50, "alu": 30, "branch": 20}}
+//	  ]
+//	}
+//
+// Each family exposes integer knobs (array sizes, strides, branch bias,
+// pointer-chase depth, trip counts, op-mix weights). A knob may be
+// pinned to a value or given as a [min, max] range; ranged knobs are
+// drawn per variant from an RNG sub-seeded by (spec seed, scenario
+// name), so the same seed always yields byte-identical assembly — which
+// is what makes generated programs content-hash cacheable in the
+// persistent store exactly like the built-in kernels.
+//
+// Programs are built from structured control-flow templates only:
+// every loop is counted with a constant trip count and every branch is
+// a forward if/else join, so each generated program provably halts
+// within its declared instruction cap (Scenario.InstCap) — there is no
+// rejection sampling and no timeout guessing.
+//
+// Every scenario carries behavior-class metadata (memory-bound,
+// branchy, ilp-rich, mixed — the workloads.Class* constants), derived
+// from its family and resolved knobs, so Figure-6-style artifacts can
+// slice results by the behavior a program stresses rather than by the
+// suite it imitates.
+package scenario

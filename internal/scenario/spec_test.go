@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func validSpec() string {
+	return `{
+	  "version": 1,
+	  "seed": 42,
+	  "scenarios": [
+	    {"family": "stream", "count": 2, "params": {"elems": [256, 1024], "stride": [1, 8]}},
+	    {"family": "chase", "params": {"nodes": 64, "hops": 256}},
+	    {"family": "branchy", "name": "br", "count": 2, "params": {"elems": 128}},
+	    {"family": "ilp", "params": {"iters": 64}},
+	    {"family": "mix", "count": 2, "params": {"iters": 32, "elems": 128}}
+	  ]
+	}`
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 8 {
+		t.Fatalf("generated %d scenarios, want 8", len(scens))
+	}
+	names := map[string]bool{}
+	for _, sc := range scens {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Class == "" {
+			t.Errorf("%s: no behavior class", sc.Name)
+		}
+		fam := families[sc.Family]
+		for _, k := range fam.knobs {
+			v, ok := sc.Params[k.name]
+			if !ok {
+				t.Errorf("%s: knob %s unresolved", sc.Name, k.name)
+			}
+			if v < k.min || v > k.max {
+				t.Errorf("%s: knob %s = %d outside [%d, %d]", sc.Name, k.name, v, k.min, k.max)
+			}
+		}
+	}
+	for _, want := range []string{"stream0", "stream1", "chase", "br0", "br1", "ilp", "mix0", "mix1"} {
+		if !names[want] {
+			t.Errorf("missing scenario %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestValidateFieldPaths pins the validation contract: every error
+// names the offending field path.
+func TestValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		name, json, wantPath, wantMsg string
+	}{
+		{"bad version", `{"version": 9, "scenarios": [{"family": "mix"}]}`, "version", "unsupported"},
+		{"no scenarios", `{"seed": 1}`, "scenarios", "at least one"},
+		{"unknown family", `{"scenarios": [{"family": "quantum"}]}`, "scenarios[0].family", "unknown family"},
+		{"bad name", `{"scenarios": [{"family": "mix", "name": "0bad"}]}`, "scenarios[0].name", "invalid name"},
+		{"count range", `{"scenarios": [{"family": "mix", "count": -1}]}`, "scenarios[0].count", "out of range"},
+		{"negative scale", `{"scenarios": [{"family": "mix", "scale": -2}]}`, "scenarios[0].scale", "non-negative"},
+		{"unknown knob", `{"scenarios": [{"family": "chase", "params": {"bias": 3}}]}`, "scenarios[0].params.bias", "no knob"},
+		{"inverted range", `{"scenarios": [{"family": "stream", "params": {"stride": [8, 2]}}]}`, "scenarios[0].params.stride", "min 8 above max 2"},
+		{"outside bounds", `{"scenarios": [{"family": "stream", "params": {"stride": 999}}]}`, "scenarios[0].params.stride", "outside the family bounds"},
+		{"name collision", `{"scenarios": [{"family": "mix"}, {"family": "mix"}]}`, "scenarios[1].name", "collides with scenarios[0]"},
+		{"builtin collision", `{"scenarios": [{"family": "mix", "name": "mcf"}]}`, "scenarios[0].name", "built-in"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(c.json))
+			if err == nil {
+				t.Fatalf("spec %s parsed without error", c.json)
+			}
+			if !strings.Contains(err.Error(), c.wantPath) {
+				t.Errorf("error %q does not name the field path %q", err, c.wantPath)
+			}
+			if !strings.Contains(err.Error(), c.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, c.wantMsg)
+			}
+		})
+	}
+}
+
+func TestKnobJSONRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Knob
+	}{
+		{"8", Knob{8, 8}},
+		{"[1, 64]", Knob{1, 64}},
+	} {
+		var k Knob
+		if err := k.UnmarshalJSON([]byte(c.in)); err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if k != c.want {
+			t.Errorf("%s parsed as %+v, want %+v", c.in, k, c.want)
+		}
+	}
+	if _, err := ParseSpec([]byte(`{"scenarios": [{"family": "mix", "params": {"iters": [1, 2, 3]}}]}`)); err == nil {
+		t.Error("three-element range parsed without error")
+	}
+}
+
+// TestMaterializeIdempotent checks repeated materialization returns the
+// same registered benchmarks, and that a conflicting registration is
+// rejected.
+func TestMaterializeIdempotent(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"seed": 7, "scenarios": [{"family": "stream", "name": "matstream", "params": {"elems": 128}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != 1 || len(b2) != 1 || b1[0] != b2[0] {
+		t.Fatalf("rematerialization did not return the registered benchmark: %p vs %p", b1[0], b2[0])
+	}
+	if got, ok := workloads.ByName("matstream"); !ok || got != b1[0] {
+		t.Error("ByName does not resolve the generated benchmark")
+	}
+	if b1[0].Suite != workloads.Generated {
+		t.Errorf("suite = %q, want %q", b1[0].Suite, workloads.Generated)
+	}
+
+	// Same name, different seed -> different source -> conflict.
+	other, err := ParseSpec([]byte(`{"seed": 8, "scenarios": [{"family": "stream", "name": "matstream", "params": {"elems": 128}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Materialize(); err == nil {
+		t.Error("conflicting materialization succeeded, want error")
+	}
+}
+
+// TestSubSeedStability: a scenario's generated source does not change
+// when an unrelated block is added to the spec.
+func TestSubSeedStability(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"seed": 3, "scenarios": [{"family": "mix", "name": "stab"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"seed": 3, "scenarios": [{"family": "chase", "name": "pre"}, {"family": "mix", "name": "stab"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa[0].Source(1) != sb[1].Source(1) {
+		t.Error("scenario source changed when an unrelated block was added")
+	}
+}

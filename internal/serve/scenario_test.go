@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitInlineScenarios: the sweep envelope accepts an inline
+// scenario spec; the service generates the workloads, runs them, and
+// the result table slices by behavior class.
+func TestSubmitInlineScenarios(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2, Config{})
+	body := `{
+		"tenant": "scen",
+		"slo": "critical",
+		"spec": {
+			"title": "serve scenarios",
+			"scale": 1,
+			"per_benchmark": true,
+			"group_by": "class",
+			"scenarios": {
+				"seed": 21,
+				"scenarios": [
+					{"family": "stream", "name": "svstream", "params": {"elems": 128}},
+					{"family": "ilp", "name": "svilp", "params": {"iters": 64}}
+				]
+			},
+			"variants": [{"label": "opt"}]
+		}
+	}`
+	v, status, _ := submit(t, ts.URL, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	if v.Cells.Total != 4 { // 2 scenarios x (reference + opt)
+		t.Fatalf("cells = %+v, want 4 total", v.Cells)
+	}
+	done := waitState(t, ts.URL, v.ID, StateDone)
+	if done.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	for _, want := range []string{"serve scenarios", "svstream", "svilp", "memory-bound", "ilp-rich"} {
+		if !strings.Contains(done.Result.Table, want) {
+			t.Errorf("result table missing %q:\n%s", want, done.Result.Table)
+		}
+	}
+	if st := eng.Stats(); st.Simulations != 4 {
+		t.Errorf("engine simulations = %d, want 4", st.Simulations)
+	}
+
+	// A bad inline scenario spec is a 400 with the field path, not a
+	// failed job.
+	bad := `{"tenant": "scen", "spec": {"scenarios": {"scenarios": [{"family": "nope"}]}, "variants": [{"label": "a"}]}}`
+	_, status, _ = submit(t, ts.URL, bad)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad scenario spec: status %d, want 400", status)
+	}
+}

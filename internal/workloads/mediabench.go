@@ -14,6 +14,7 @@ import "fmt"
 var G721d = register(&Benchmark{
 	Name:         "g721d",
 	Suite:        Mediabench,
+	Class:        ClassMixed,
 	Notes:        "ADPCM decode predictor, 8-word state re-read per sample",
 	DefaultScale: 16,
 	src: func(scale int) string {
@@ -96,6 +97,7 @@ tap:
 var G721e = register(&Benchmark{
 	Name:         "g721e",
 	Suite:        Mediabench,
+	Class:        ClassBranchy,
 	Notes:        "ADPCM encode: predictor plus quantizer breakpoint search",
 	DefaultScale: 30,
 	src: func(scale int) string {
@@ -177,6 +179,7 @@ quantized:
 var Mpg2d = register(&Benchmark{
 	Name:         "mpg2d",
 	Suite:        Mediabench,
+	Class:        ClassILP,
 	Notes:        "8x8 block IDCT-like row passes, block resident in MBC",
 	DefaultScale: 300,
 	src: func(scale int) string {
@@ -239,6 +242,7 @@ col:
 var Mpg2e = register(&Benchmark{
 	Name:         "mpg2e",
 	Suite:        Mediabench,
+	Class:        ClassMixed,
 	Notes:        "motion-estimation SAD, 8x8 block vs search window",
 	DefaultScale: 340,
 	src: func(scale int) string {
@@ -299,6 +303,7 @@ abspos:
 var Untst = register(&Benchmark{
 	Name:         "untst",
 	Suite:        Mediabench,
+	Class:        ClassMemory,
 	Notes:        "GSM short-term synthesis filter: two 8-entry arrays, 13..120-sample calls",
 	DefaultScale: 30,
 	src: func(scale int) string {
@@ -374,6 +379,7 @@ filt:
 var Tst = register(&Benchmark{
 	Name:         "tst",
 	Suite:        Mediabench,
+	Class:        ClassILP,
 	Notes:        "GSM LPC autocorrelation over a 160-sample window",
 	DefaultScale: 16,
 	src: func(scale int) string {

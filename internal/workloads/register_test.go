@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinsClassified: every built-in benchmark carries one of the
+// canonical behavior-class tags, and each class is represented.
+func TestBuiltinsClassified(t *testing.T) {
+	valid := map[string]bool{}
+	for _, c := range Classes() {
+		valid[c] = true
+	}
+	seen := map[string]int{}
+	for _, b := range All() {
+		if !valid[b.Class] {
+			t.Errorf("%s: class %q is not one of %v", b.Name, b.Class, Classes())
+		}
+		seen[b.Class]++
+	}
+	for _, c := range Classes() {
+		if seen[c] == 0 {
+			t.Errorf("no built-in benchmark tagged %q", c)
+		}
+	}
+}
+
+func genBench(name, src string) *Benchmark {
+	return New(name, Generated, ClassMixed, "test benchmark", 1,
+		func(scale int) string { return src })
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	b := genBench("reg_idem", "start:\n    halt\n")
+	first, err := Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != b {
+		t.Error("first registration should return the benchmark itself")
+	}
+	again, err := Register(genBench("reg_idem", "start:\n    halt\n"))
+	if err != nil {
+		t.Fatalf("re-registering identical content: %v", err)
+	}
+	if again != first {
+		t.Error("identical re-registration should return the original (shared program cache)")
+	}
+	if got, ok := ByName("reg_idem"); !ok || got != first {
+		t.Error("ByName should resolve registered benchmarks")
+	}
+	found := false
+	for _, g := range GeneratedBenchmarks() {
+		if g == first {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("GeneratedBenchmarks should include the registration")
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	if _, err := Register(genBench("reg_conf", "start:\n    halt\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Register(genBench("reg_conf", "start:\n    ldi 1 -> r1\n    halt\n")); err == nil {
+		t.Error("same name with different source should be rejected")
+	} else if !strings.Contains(err.Error(), "reg_conf") {
+		t.Errorf("conflict error should name the benchmark: %v", err)
+	}
+	if _, err := Register(genBench("mcf", "start:\n    halt\n")); err == nil {
+		t.Error("registering over a built-in should be rejected")
+	}
+}
+
+// TestAllExcludesGenerated: registration must never leak into All() —
+// the paper artifacts iterate All() and are pinned to the 22 built-ins.
+func TestAllExcludesGenerated(t *testing.T) {
+	if _, err := Register(genBench("reg_excl", "start:\n    halt\n")); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range All() {
+		if b.Suite == Generated {
+			t.Fatalf("All() leaked generated benchmark %q", b.Name)
+		}
+	}
+}

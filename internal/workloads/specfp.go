@@ -13,6 +13,7 @@ import "fmt"
 var Amp = register(&Benchmark{
 	Name:         "amp",
 	Suite:        SPECfp,
+	Class:        ClassMemory,
 	Notes:        "pairwise force accumulation, re-read particle arrays",
 	DefaultScale: 400,
 	src: func(scale int) string {
@@ -67,6 +68,7 @@ body:
 var App = register(&Benchmark{
 	Name:         "app",
 	Suite:        SPECfp,
+	Class:        ClassMemory,
 	Notes:        "banded forward solve, row results stored then reloaded",
 	DefaultScale: 150,
 	src: func(scale int) string {
@@ -136,6 +138,7 @@ row:
 var Art = register(&Benchmark{
 	Name:         "art",
 	Suite:        SPECfp,
+	Class:        ClassILP,
 	Notes:        "neural F1 match over two MBC-resident 64-entry vectors",
 	DefaultScale: 400,
 	src: func(scale int) string {
@@ -188,6 +191,7 @@ neuron:
 var Eqk = register(&Benchmark{
 	Name:         "eqk",
 	Suite:        SPECfp,
+	Class:        ClassMemory,
 	Notes:        "sparse MVM with indirect (index-load-driven) accesses",
 	DefaultScale: 70,
 	src: func(scale int) string {
@@ -248,6 +252,7 @@ nz:
 var Msa = register(&Benchmark{
 	Name:         "msa",
 	Suite:        SPECfp,
+	Class:        ClassILP,
 	Notes:        "4x4 vertex transform, matrix reloaded per vertex",
 	DefaultScale: 120,
 	src: func(scale int) string {
@@ -323,6 +328,7 @@ vert:
 var Mgd = register(&Benchmark{
 	Name:         "mgd",
 	Suite:        SPECfp,
+	Class:        ClassMemory,
 	Notes:        "7-point stencil over a 32KB grid (exceeds MBC)",
 	DefaultScale: 4,
 	src: func(scale int) string {

@@ -15,6 +15,7 @@ import "fmt"
 var Bzp = register(&Benchmark{
 	Name:         "bzp",
 	Suite:        SPECint,
+	Class:        ClassBranchy,
 	Notes:        "run-length compression scan, 8KB working set",
 	DefaultScale: 24,
 	src: func(scale int) string {
@@ -84,6 +85,7 @@ next:
 var Cra = register(&Benchmark{
 	Name:         "cra",
 	Suite:        SPECint,
+	Class:        ClassMixed,
 	Notes:        "chess board evaluation, MBC-resident board, indirect table lookups",
 	DefaultScale: 300,
 	src: func(scale int) string {
@@ -160,6 +162,7 @@ inrange:
 var Eon = register(&Benchmark{
 	Name:         "eon",
 	Suite:        SPECint,
+	Class:        ClassILP,
 	Notes:        "fixed-point ray marching, complex-ALU bound",
 	DefaultScale: 500,
 	src: func(scale int) string {
@@ -217,6 +220,7 @@ outside:
 var Gap = register(&Benchmark{
 	Name:         "gap",
 	Suite:        SPECint,
+	Class:        ClassMemory,
 	Notes:        "bignum multiply, carry chains with store-to-load partial sums",
 	DefaultScale: 24,
 	src: func(scale int) string {
@@ -306,6 +310,7 @@ fold:
 var Gcc = register(&Benchmark{
 	Name:         "gcc",
 	Suite:        SPECint,
+	Class:        ClassBranchy,
 	Notes:        "token dispatch via loaded jump table (indirect jumps)",
 	DefaultScale: 60,
 	src: func(scale int) string {
@@ -380,6 +385,7 @@ cont:
 var Mcf = register(&Benchmark{
 	Name:         "mcf",
 	Suite:        SPECint,
+	Class:        ClassMemory,
 	Notes:        "iterative quicksort (sort_basket), MBC-sized partitions",
 	DefaultScale: 60,
 	src: func(scale int) string {
@@ -496,6 +502,7 @@ fold:
 var Prl = register(&Benchmark{
 	Name:         "prl",
 	Suite:        SPECint,
+	Class:        ClassMemory,
 	Notes:        "hash loop with computed-address table probes",
 	DefaultScale: 70,
 	src: func(scale int) string {
@@ -557,6 +564,7 @@ hnext:
 var Twf = register(&Benchmark{
 	Name:         "twf",
 	Suite:        SPECint,
+	Class:        ClassMixed,
 	Notes:        "annealing swaps at LCG-computed addresses, unpredictable accepts",
 	DefaultScale: 13,
 	src: func(scale int) string {
@@ -612,6 +620,7 @@ reject:
 var Vor = register(&Benchmark{
 	Name:         "vor",
 	Suite:        SPECint,
+	Class:        ClassMixed,
 	Notes:        "record traversal with field checks, 16KB working set",
 	DefaultScale: 45,
 	src: func(scale int) string {
@@ -667,6 +676,7 @@ skiprec:
 var Vpr = register(&Benchmark{
 	Name:         "vpr",
 	Suite:        SPECint,
+	Class:        ClassMixed,
 	Notes:        "wavefront cost relaxation over a 32x32 routing grid",
 	DefaultScale: 25,
 	src: func(scale int) string {

@@ -14,6 +14,7 @@
 package workloads
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -29,7 +30,25 @@ const (
 	SPECint    = "SPECint"
 	SPECfp     = "SPECfp"
 	Mediabench = "mediabench"
+	// Generated is the suite of programs materialized from scenario
+	// specs (internal/scenario) rather than hand-written for Table 1.
+	Generated = "generated"
 )
+
+// Behavior classes. Every benchmark — hand-written or generated — is
+// tagged with the dominant behavior it stresses, so artifacts can slice
+// results uniformly by class instead of by suite.
+const (
+	ClassMemory  = "memory-bound" // performance governed by load/store traffic
+	ClassBranchy = "branchy"      // performance governed by control flow
+	ClassILP     = "ilp-rich"     // wide independent compute, little memory
+	ClassMixed   = "mixed"        // no single dominant behavior
+)
+
+// Classes returns the behavior-class names in display order.
+func Classes() []string {
+	return []string{ClassMemory, ClassBranchy, ClassILP, ClassMixed}
+}
 
 // Benchmark is one workload generator.
 type Benchmark struct {
@@ -37,6 +56,9 @@ type Benchmark struct {
 	Name string
 	// Suite is SPECint, SPECfp or Mediabench.
 	Suite string
+	// Class is the benchmark's behavior class (ClassMemory, ClassBranchy,
+	// ClassILP or ClassMixed).
+	Class string
 	// Notes describes what the kernel models.
 	Notes string
 	// DefaultScale is the iteration parameter used by the experiments.
@@ -83,8 +105,79 @@ func register(b *Benchmark) *Benchmark {
 	return b
 }
 
-// All returns every benchmark in suite order (SPECint, SPECfp,
-// mediabench), each suite in registration order.
+// New constructs an unregistered benchmark backed by src — the hook
+// generated workloads (internal/scenario) use to build programs that
+// honor the same Source/Program contract as the built-in suite.
+func New(name, suite, class, notes string, defaultScale int, src func(scale int) string) *Benchmark {
+	if defaultScale <= 0 {
+		defaultScale = 1
+	}
+	return &Benchmark{
+		Name:         name,
+		Suite:        suite,
+		Class:        class,
+		Notes:        notes,
+		DefaultScale: defaultScale,
+		src:          src,
+	}
+}
+
+// The generated registry is disjoint from the built-in one: All() and
+// the paper artifacts keep seeing exactly the 22 Table 1 kernels, while
+// ByName — and therefore sweeps, the engine, store keys, the sampler
+// and the serve layer — resolves generated scenarios too.
+var (
+	genMu     sync.Mutex
+	generated = map[string]*Benchmark{}
+)
+
+// Register adds a generated benchmark to the registry. Registration is
+// idempotent: re-registering a benchmark whose name and generated
+// source (at its default scale) match an existing entry returns the
+// existing entry, so repeated materializations of the same scenario
+// spec share one program cache. A name that collides with a built-in
+// benchmark, or with a generated one of different content, is an error.
+func Register(b *Benchmark) (*Benchmark, error) {
+	if b.Name == "" {
+		return nil, fmt.Errorf("workloads: benchmark has no name")
+	}
+	for _, r := range registry {
+		if r.Name == b.Name {
+			return nil, fmt.Errorf("workloads: %q is a built-in benchmark", b.Name)
+		}
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	if old, ok := generated[b.Name]; ok {
+		if old.Suite == b.Suite && old.Class == b.Class &&
+			old.DefaultScale == b.DefaultScale &&
+			old.Source(old.DefaultScale) == b.Source(b.DefaultScale) {
+			return old, nil
+		}
+		return nil, fmt.Errorf("workloads: generated benchmark %q already registered with different content", b.Name)
+	}
+	generated[b.Name] = b
+	return b, nil
+}
+
+// GeneratedBenchmarks returns every registered generated benchmark,
+// sorted by name for deterministic iteration.
+func GeneratedBenchmarks() []*Benchmark {
+	genMu.Lock()
+	defer genMu.Unlock()
+	out := make([]*Benchmark, 0, len(generated))
+	for _, b := range generated {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns every built-in benchmark in suite order (SPECint, SPECfp,
+// mediabench), each suite in registration order. Generated scenarios
+// are deliberately excluded: the paper artifacts iterate All() and must
+// keep reproducing Table 1 exactly (use GeneratedBenchmarks or ByName
+// for scenario workloads).
 func All() []*Benchmark {
 	out := make([]*Benchmark, len(registry))
 	copy(out, registry)
@@ -109,14 +202,18 @@ func BySuite(suite string) []*Benchmark {
 	return out
 }
 
-// ByName finds a benchmark by its Table 1 abbreviation.
+// ByName finds a benchmark by its Table 1 abbreviation, or a generated
+// scenario by its materialized name.
 func ByName(name string) (*Benchmark, bool) {
 	for _, b := range registry {
 		if b.Name == name {
 			return b, true
 		}
 	}
-	return nil, false
+	genMu.Lock()
+	defer genMu.Unlock()
+	b, ok := generated[name]
+	return b, ok
 }
 
 // rng is a deterministic xorshift64 generator used to emit data tables;
