@@ -14,6 +14,8 @@
 //	                                  machine-model and sensitivity studies
 //	contopt ablations                 MBC sweep + policy toggles (beyond paper)
 //	contopt sweep <spec.json>         run a user-defined sweep spec
+//	contopt sweep -shard i/n|-merge   shard a sweep across processes via
+//	                                  the shared store, then merge
 //	contopt sample-check [bench ...]  validate the sampled estimator vs exact
 //	contopt store <ls|stat|gc|verify> inspect/maintain the persistent store
 //	contopt serve [-addr :8080]       multi-tenant sweep service over HTTP
@@ -68,9 +70,21 @@
 // rerun of any command — including a sweep or "all" interrupted by
 // Ctrl-C — reloads completed cells instead of resimulating them; a
 // fully warm rerun performs zero simulations and produces byte-
-// identical output. "contopt store -store DIR ls|stat|gc|verify"
-// inspects and maintains the store; -v distinguishes memory hits,
-// store hits, and misses so warm runs are observable.
+// identical output. Sampled-run window plans persist too, so even the
+// one architectural fast-forward per (benchmark, scale, regime) is
+// paid once across all processes that share the store. "contopt store
+// -store DIR ls [-plans]|stat|gc|verify" inspects and maintains the
+// store; -v distinguishes memory hits, store hits, and misses so warm
+// runs are observable.
+//
+// Sharded sweeps: "contopt sweep -store DIR -shard i/n spec.json" runs
+// only the i-th of n deterministic slices of the sweep's cells,
+// persisting results through the store — launch n such processes (any
+// machines sharing the directory) with no coordination beyond the
+// store itself. "contopt sweep -store DIR -merge spec.json" then
+// assembles the table from store entries alone, listing any cells no
+// shard has finished. A killed shard is rerun with the same flags and
+// simulates only what did not survive.
 //
 // Serving: "contopt serve -addr :8080 -store DIR" exposes the engine as
 // a multi-tenant HTTP service (internal/serve). Clients POST sweep
@@ -87,6 +101,8 @@
 //	-scale N          override benchmark iteration scale (0 = default)
 //	-parallel N       concurrent simulations (0 = GOMAXPROCS)
 //	-store DIR        persistent result store directory (env CONTOPT_STORE)
+//	-shard i/n        sweep: simulate only this process's cell slice (needs -store)
+//	-merge            sweep: print the table from the store, no simulation
 //	-timeout D        abort the whole command after duration D (0 = none)
 //	-progress         stream per-interval simulation progress to stderr
 //	-v                verbose: engine cache statistics; instruction counts on list
@@ -156,6 +172,8 @@ func run(ctx context.Context, args []string) error {
 	verbose := fs.Bool("v", false, "verbose: engine cache statistics; instruction counts on list")
 	traceCache := fs.Int("trace-cache", exper.DefaultTraceBudget>>20, "decode-once trace/plan cache budget in MiB (0 = disable replay)")
 	windowWorkers := fs.Int("window-workers", 0, "concurrent detailed windows per sampled run (0 = GOMAXPROCS)")
+	shard := fs.String("shard", "", "sweep: simulate only this process's share of the cells, in the form i/n (requires -store)")
+	merge := fs.Bool("merge", false, "sweep: assemble the table from the store without simulating (requires -store)")
 	sampled := fs.Bool("sample", false, "estimate via sampled simulation instead of exact runs")
 	samplePeriod := fs.Uint64("sample-period", 0, "instructions between detailed-window starts (0 = default)")
 	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per window, stats discarded (0 = default)")
@@ -318,6 +336,34 @@ func run(ctx context.Context, args []string) error {
 		if *scale > 0 {
 			spec.Scale = *scale
 		}
+		switch {
+		case *merge && *shard != "":
+			return fmt.Errorf("sweep: -shard runs cells and -merge only reads the store; pass one or the other")
+		case *merge:
+			sr, missing, err := engine.SweepMerge(spec, sampleCfg)
+			if err != nil {
+				return err
+			}
+			if len(missing) > 0 {
+				for _, m := range missing {
+					fmt.Fprintln(os.Stderr, "missing:", m)
+				}
+				return fmt.Errorf("sweep: %d of the sweep's cells are not in the store yet; finish the shards and re-run -merge", len(missing))
+			}
+			return sr.WriteTable(out)
+		case *shard != "":
+			sh, err := exper.ParseShard(*shard)
+			if err != nil {
+				return err
+			}
+			rep, err := engine.SweepShard(ctx, spec, sh, sampleCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "shard %s: simulated and persisted %d of %d cells\n",
+				rep.Shard, rep.OwnedCells, rep.TotalCells)
+			return nil
+		}
 		var sr *exper.SweepResult
 		if sampleCfg != nil {
 			sr, err = engine.SweepSampled(ctx, spec, *sampleCfg)
@@ -464,11 +510,14 @@ func runOne(ctx context.Context, out *os.File, engine *exper.Runner, name string
 // index, summarize, garbage-collect, and integrity-check the
 // persistent result store without running any simulation.
 func storeCmd(out *os.File, dir string, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: contopt store -store DIR {ls|stat|gc|verify}")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: contopt store -store DIR {ls [-plans]|stat|gc|verify}")
 	}
 	if dir == "" {
 		return fmt.Errorf("store: no directory; pass -store DIR or set CONTOPT_STORE")
+	}
+	if args[0] != "ls" && len(args) != 1 {
+		return fmt.Errorf("usage: contopt store -store DIR %s", args[0])
 	}
 	st, err := store.Open(dir)
 	if err != nil {
@@ -476,6 +525,11 @@ func storeCmd(out *os.File, dir string, args []string) error {
 	}
 	switch args[0] {
 	case "ls":
+		lsFlags := flag.NewFlagSet("store ls", flag.ContinueOnError)
+		plansOnly := lsFlags.Bool("plans", false, "list only sampled-run plan entries")
+		if err := lsFlags.Parse(args[1:]); err != nil {
+			return err
+		}
 		entries, err := st.List()
 		if err != nil {
 			return err
@@ -484,7 +538,13 @@ func storeCmd(out *os.File, dir string, args []string) error {
 		fmt.Fprintln(tw, "kind\tbenchmark\tscale\tconfig\tregime\tbytes\tstatus")
 		for _, e := range entries {
 			if e.Err != nil {
+				if *plansOnly {
+					continue // a corrupt entry's kind is unrecoverable
+				}
 				fmt.Fprintf(tw, "?\t?\t?\t?\t?\t%d\tcorrupt: %v\n", e.Size, e.Err)
+				continue
+			}
+			if *plansOnly && e.Key.Kind != store.KindPlan {
 				continue
 			}
 			k := e.Key
@@ -503,9 +563,9 @@ func storeCmd(out *os.File, dir string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s: %d entries (%d exact, %d sampled, %d counts), %d bytes\n",
+		fmt.Fprintf(out, "%s: %d entries (%d exact, %d sampled, %d counts, %d plans), %d bytes\n",
 			dir, info.Entries, info.ByKind[store.KindExact], info.ByKind[store.KindSampled],
-			info.ByKind[store.KindCount], info.Bytes)
+			info.ByKind[store.KindCount], info.ByKind[store.KindPlan], info.Bytes)
 		if info.Corrupt > 0 || info.TempFiles > 0 {
 			fmt.Fprintf(out, "debris: %d corrupt entries, %d temp files (run 'contopt store gc')\n",
 				info.Corrupt, info.TempFiles)
@@ -537,7 +597,7 @@ func storeCmd(out *os.File, dir string, args []string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("store: unknown action %q (want ls, stat, gc or verify)", args[0])
+		return fmt.Errorf("store: unknown action %q (want ls [-plans], stat, gc or verify)", args[0])
 	}
 }
 
@@ -602,13 +662,15 @@ commands:
   figure11    optimizer latency sensitivity
   figure12    feedback delay sensitivity
   ablations   MBC capacity + policy sweeps (beyond the paper)
-  sweep <f>   run a user-defined JSON sweep spec (see examples/sweeps/)
+  sweep <f>   run a user-defined JSON sweep spec (see examples/sweeps/);
+              -shard i/n simulates one process's slice through -store,
+              -merge prints the finished table from the store
   discrete    continuous vs. offline-style (trace-flushed) optimization
   dead        dead-value fraction, baseline vs. optimized
   verify      check both machines against the oracle on all benchmarks
   sample-check [bench ...]
               validate the sampled estimator against exact runs
-  store <ls|stat|gc|verify>
+  store <ls [-plans]|stat|gc|verify>
               index, summarize, clean, or integrity-check the -store DIR
   serve       multi-tenant sweep service over HTTP (SLO classes, SSE,
               cross-client dedup; see -addr, -drain, -max-jobs,
@@ -616,7 +678,7 @@ commands:
   all         run every experiment (shared result cache across artifacts)
 
 flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
-       -trace-cache MB, -window-workers N,
+       -shard i/n and -merge (sweep), -trace-cache MB, -window-workers N,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
        -tolerance PCT and -check-ipc (sample-check),
        -addr, -drain, -max-jobs, -tenant-jobs, -queue-depth (serve),
@@ -630,5 +692,12 @@ for a large speedup at scale.
 -store DIR (or CONTOPT_STORE) persists every finished simulation to a
 content-addressed on-disk store shared across invocations: interrupted
 sweeps resume where they stopped, and a fully warm rerun performs zero
-simulations (verify with -v: "0 simulations, ... store hits").`)
+simulations (verify with -v: "0 simulations, ... store hits").
+
+Shard a sweep across processes with "sweep -store DIR -shard i/n f":
+each of the n processes simulates a disjoint slice of the cells and
+coordinates with the others only through the shared store (sampled
+window plans included — one fast-forward per workload and regime across
+all processes). When the shards are done, "sweep -store DIR -merge f"
+prints the table from the store without simulating anything.`)
 }

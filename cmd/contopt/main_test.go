@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -405,5 +406,135 @@ func TestStoreSubcommandErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"store", "-store", dir}); err == nil {
 		t.Error("store without an action should fail")
+	}
+}
+
+// shardSpecFile writes the small sweep spec the shard CLI tests share:
+// 2 benchmarks x 2 variants = 4 cells.
+func shardSpecFile(t *testing.T) string {
+	t.Helper()
+	spec := `{
+		"benchmarks": ["mcf", "untst"],
+		"per_benchmark": true,
+		"variants": [
+			{"label": "opt"},
+			{"label": "mbc32", "set": {"Opt.MBCEntries": 32}}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSweepShardAndMerge(t *testing.T) {
+	path := shardSpecFile(t)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	single := capture(t, func() error {
+		return run(context.Background(), []string{"sweep", "-scale", "1", path})
+	})
+
+	for i := 0; i < 2; i++ {
+		sh := capture(t, func() error {
+			return run(context.Background(), []string{
+				"sweep", "-scale", "1", "-store", dir, "-shard", strconv.Itoa(i) + "/2", path})
+		})
+		if !strings.Contains(sh, "simulated and persisted 3 of 6 cells") {
+			t.Errorf("shard %d/2 report: %s", i, sh)
+		}
+	}
+
+	merged, mergedErr := captureAll(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-scale", "1", "-store", dir, "-merge", "-v", path})
+	})
+	if merged != single {
+		t.Errorf("merged table differs from single-process sweep:\n--- single\n%s--- merged\n%s", single, merged)
+	}
+	// The acceptance property at CLI scope: merge assembles the table
+	// from the store alone.
+	if !strings.Contains(mergedErr, "engine: 0 simulations") {
+		t.Errorf("merge ran simulations:\n%s", mergedErr)
+	}
+}
+
+func TestSweepMergeMissingCells(t *testing.T) {
+	path := shardSpecFile(t)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	// Only half the cells exist: merge must refuse and name the rest.
+	capture(t, func() error {
+		return run(context.Background(), []string{
+			"sweep", "-scale", "1", "-store", dir, "-shard", "0/2", path})
+	})
+	var mergeErr error
+	_, stderr := captureAll(t, func() error {
+		mergeErr = run(context.Background(), []string{
+			"sweep", "-scale", "1", "-store", dir, "-merge", path})
+		return nil
+	})
+	if mergeErr == nil {
+		t.Fatal("merge with missing cells should fail")
+	}
+	if !strings.Contains(mergeErr.Error(), "3 of the sweep's cells") {
+		t.Errorf("merge error: %v", mergeErr)
+	}
+	if strings.Count(stderr, "missing:") != 3 {
+		t.Errorf("merge stderr should name the 3 missing cells:\n%s", stderr)
+	}
+}
+
+func TestSweepShardFlagErrors(t *testing.T) {
+	path := shardSpecFile(t)
+	dir := t.TempDir()
+	cases := [][]string{
+		{"sweep", "-store", dir, "-shard", "0/2", "-merge", path}, // mutually exclusive
+		{"sweep", "-shard", "0/2", path},                          // shard needs a store
+		{"sweep", "-merge", path},                                 // merge needs a store
+		{"sweep", "-store", dir, "-shard", "2/2", path},           // index out of range
+		{"sweep", "-store", dir, "-shard", "nope", path},          // malformed
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("%v should fail", args)
+		}
+	}
+}
+
+func TestStoreLsPlans(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	spec := `{"benchmarks": ["tst"], "per_benchmark": true, "variants": [{"label": "opt"}]}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	capture(t, func() error {
+		return run(context.Background(), []string{"sweep", "-scale", "1", "-store", dir, "-sample", path})
+	})
+
+	ls := capture(t, func() error {
+		return run(context.Background(), []string{"store", "-store", dir, "ls", "-plans"})
+	})
+	lines := strings.Split(strings.TrimSpace(ls), "\n")
+	if len(lines) != 2 { // header + the one plan
+		t.Fatalf("store ls -plans should list exactly the plan entries:\n%s", ls)
+	}
+	if !strings.Contains(lines[1], "plan") || !strings.Contains(lines[1], "tst") {
+		t.Errorf("store ls -plans row: %s", lines[1])
+	}
+
+	stat := capture(t, func() error {
+		return run(context.Background(), []string{"store", "-store", dir, "stat"})
+	})
+	if !strings.Contains(stat, "1 plans") {
+		t.Errorf("store stat should count the plan entry: %s", stat)
+	}
+	vout := capture(t, func() error {
+		return run(context.Background(), []string{"store", "-store", dir, "verify"})
+	})
+	if !strings.Contains(vout, "0 corrupt") {
+		t.Errorf("store verify after a sampled run: %s", vout)
 	}
 }

@@ -378,3 +378,17 @@ func RunBenchmark(ctx context.Context, name string, scale int, cfg Config, opts 
 func Sweep(ctx context.Context, eng *Engine, spec *SweepSpec) (*SweepResult, error) {
 	return eng.Sweep(ctx, spec)
 }
+
+// Shard identifies one partition of a sharded sweep: the process owning
+// every cell whose index ≡ Index (mod Count). Independent processes each
+// run Engine.SweepShard with a distinct shard against engines sharing
+// one Store, then any of them assembles the table with
+// Engine.SweepMerge — coordination happens only through the store. See
+// exper.Shard; ParseShard parses the CLI form "i/n".
+type Shard = exper.Shard
+
+// ShardReport summarizes one Engine.SweepShard invocation.
+type ShardReport = exper.ShardReport
+
+// ParseShard parses a shard in its CLI form "i/n" (e.g. "0/3").
+func ParseShard(s string) (Shard, error) { return exper.ParseShard(s) }

@@ -60,13 +60,15 @@ type Runner struct {
 	traceBytes  int64
 	traceClock  uint64
 
-	memHits      atomic.Uint64
-	storeHits    atomic.Uint64
-	runs         atomic.Uint64
-	traceHits    atomic.Uint64
-	traceRecords atomic.Uint64
-	planHits     atomic.Uint64
-	planBuilds   atomic.Uint64
+	memHits         atomic.Uint64
+	storeHits       atomic.Uint64
+	runs            atomic.Uint64
+	traceHits       atomic.Uint64
+	traceRecords    atomic.Uint64
+	planHits        atomic.Uint64
+	planBuilds      atomic.Uint64
+	planStoreHits   atomic.Uint64
+	planStoreWrites atomic.Uint64
 }
 
 type simKey struct {
@@ -180,8 +182,9 @@ func NewRunner(parallelism int) *Runner {
 // released (write-behind the memory layer), making results durable
 // across processes and sweeps resumable after a crash or Ctrl-C. The
 // store sees exactly the engine's cache keys — exact results, sampled
-// estimates (regime-keyed) and instruction counts live in disjoint
-// namespaces — and any store read error, including a corrupt entry, is
+// estimates (regime-keyed), instruction counts and sampled-run window
+// plans live in disjoint namespaces — and any store read error,
+// including a corrupt entry, is
 // treated as a miss and resimulated, never surfaced. Persistence
 // failures are also non-fatal: the run still succeeds, it just is not
 // durable. Attach the store before launching work; a nil store detaches.
@@ -203,8 +206,12 @@ func (r *Runner) SetStore(st *store.Store) {
 // (recording a dynamic stream; building a sampled window plan), and
 // TraceHits/PlanHits the simulations that reused one — a 30-config
 // sweep cell at full effectiveness is {TraceRecords: 1, TraceHits:
-// 29}. TraceBytes is the resident size of both caches right now,
-// bounded by SetTraceBudget.
+// 29}. PlanStoreHits counts plan-cache misses answered by the
+// persistent store instead of a build, and PlanStoreWrites plans
+// persisted after a build (both always 0 without SetStore): a sampled
+// sweep sharded across processes is the pattern {PlanBuilds: 1 in one
+// process, PlanStoreHits > 0 everywhere else}. TraceBytes is the
+// resident size of both caches right now, bounded by SetTraceBudget.
 // Stats marshals to JSON with stable snake_case field names, so
 // services can expose a snapshot directly (e.g. a /metrics endpoint),
 // and String renders the CLI's "-v" stat lines — one formatter for
@@ -214,11 +221,13 @@ type Stats struct {
 	MemHits     uint64 `json:"mem_hits"`
 	StoreHits   uint64 `json:"store_hits"`
 
-	TraceRecords uint64 `json:"trace_records"`
-	TraceHits    uint64 `json:"trace_hits"`
-	PlanBuilds   uint64 `json:"plan_builds"`
-	PlanHits     uint64 `json:"plan_hits"`
-	TraceBytes   uint64 `json:"trace_bytes"`
+	TraceRecords    uint64 `json:"trace_records"`
+	TraceHits       uint64 `json:"trace_hits"`
+	PlanBuilds      uint64 `json:"plan_builds"`
+	PlanHits        uint64 `json:"plan_hits"`
+	PlanStoreHits   uint64 `json:"plan_store_hits"`
+	PlanStoreWrites uint64 `json:"plan_store_writes"`
+	TraceBytes      uint64 `json:"trace_bytes"`
 }
 
 // String renders the snapshot as the two human-readable stat lines the
@@ -227,9 +236,10 @@ type Stats struct {
 // apart field-by-field.
 func (s Stats) String() string {
 	return fmt.Sprintf("engine: %d simulations, %d memory hits, %d store hits\n"+
-		"engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused; %.1f MiB resident",
+		"engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused (%d store hits, %d store writes); %.1f MiB resident",
 		s.Simulations, s.MemHits, s.StoreHits,
-		s.TraceRecords, s.TraceHits, s.PlanBuilds, s.PlanHits, float64(s.TraceBytes)/(1<<20))
+		s.TraceRecords, s.TraceHits, s.PlanBuilds, s.PlanHits,
+		s.PlanStoreHits, s.PlanStoreWrites, float64(s.TraceBytes)/(1<<20))
 }
 
 // Stats returns a snapshot of the runner's counters.
@@ -241,14 +251,16 @@ func (r *Runner) Stats() Stats {
 		resident = 0
 	}
 	return Stats{
-		Simulations:  r.runs.Load(),
-		MemHits:      r.memHits.Load(),
-		StoreHits:    r.storeHits.Load(),
-		TraceRecords: r.traceRecords.Load(),
-		TraceHits:    r.traceHits.Load(),
-		PlanBuilds:   r.planBuilds.Load(),
-		PlanHits:     r.planHits.Load(),
-		TraceBytes:   uint64(resident),
+		Simulations:     r.runs.Load(),
+		MemHits:         r.memHits.Load(),
+		StoreHits:       r.storeHits.Load(),
+		TraceRecords:    r.traceRecords.Load(),
+		TraceHits:       r.traceHits.Load(),
+		PlanBuilds:      r.planBuilds.Load(),
+		PlanHits:        r.planHits.Load(),
+		PlanStoreHits:   r.planStoreHits.Load(),
+		PlanStoreWrites: r.planStoreWrites.Load(),
+		TraceBytes:      uint64(resident),
 	}
 }
 

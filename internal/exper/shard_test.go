@@ -1,0 +1,306 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/store"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/1": {0, 1},
+		"0/3": {0, 3},
+		"2/3": {2, 3},
+	}
+	for s, want := range good {
+		got, err := ParseShard(s)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", s, got, err, want)
+		}
+	}
+	bad := []string{"", "3", "1/", "/3", "a/b", "3/3", "-1/3", "0/0", "0/-1", "1/2/3"}
+	for _, s := range bad {
+		if sh, err := ParseShard(s); err == nil {
+			t.Errorf("ParseShard(%q) accepted invalid shard %+v", s, sh)
+		}
+	}
+}
+
+// TestShardPartitionDisjointAndComplete is the partition law: for any
+// shard count, every cell index is owned by exactly one shard.
+func TestShardPartitionDisjointAndComplete(t *testing.T) {
+	for count := 1; count <= 7; count++ {
+		for idx := 0; idx < 100; idx++ {
+			owners := 0
+			for i := 0; i < count; i++ {
+				if (Shard{Index: i, Count: count}).owns(idx) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("cell %d has %d owners under %d shards", idx, owners, count)
+			}
+		}
+	}
+}
+
+// shardSpec is the 30-cell sweep the shard battery runs: 5 benchmarks
+// x (reference + 5 variants).
+func shardSpec() *SweepSpec {
+	return &SweepSpec{
+		Title:        "shard probe",
+		Benchmarks:   []string{"tst", "untst", "mcf", "bzp", "vpr"},
+		Scale:        1,
+		PerBenchmark: true,
+		Variants: []VariantSpec{
+			{Label: "opt"},
+			{Label: "mbc8", Set: map[string]any{"Opt.MBCEntries": float64(8)}},
+			{Label: "mbc16", Set: map[string]any{"Opt.MBCEntries": float64(16)}},
+			{Label: "mbc32", Set: map[string]any{"Opt.MBCEntries": float64(32)}},
+			{Label: "mbc64", Set: map[string]any{"Opt.MBCEntries": float64(64)}},
+		},
+	}
+}
+
+// openShardStore opens a second (third, ...) handle on the same store
+// directory — each handle models a separate process.
+func openShardStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestShardEquivalence is the headline equivalence property: a 30-cell
+// sweep split across 3 concurrent shards — separate engines, separate
+// store handles, one directory — simulates every cell exactly once in
+// total, and the merged table is byte-identical to a single-process
+// run of the same spec.
+func TestShardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	spec := shardSpec()
+	const totalCells, shards = 30, 3
+
+	// Single-process golden, in its own store.
+	golden := storeRunner(openStore(t))
+	gsr, err := golden.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := gsr.WriteTable(&want); err != nil {
+		t.Fatal(err)
+	}
+	if gs := golden.Stats(); gs.Simulations != totalCells {
+		t.Fatalf("golden run simulated %d cells, want %d — fix the spec before trusting the shard math", gs.Simulations, totalCells)
+	}
+
+	dir := t.TempDir()
+	runners := make([]*Runner, shards)
+	reports := make([]ShardReport, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		runners[i] = storeRunner(openShardStore(t, dir))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = runners[i].SweepShard(ctx, spec, Shard{Index: i, Count: shards}, nil)
+		}(i)
+	}
+	wg.Wait()
+
+	var owned, sims int
+	for i := 0; i < shards; i++ {
+		if errs[i] != nil {
+			t.Fatalf("shard %d/%d: %v", i, shards, errs[i])
+		}
+		if reports[i].TotalCells != totalCells {
+			t.Errorf("shard %d saw %d total cells, want %d", i, reports[i].TotalCells, totalCells)
+		}
+		if reports[i].OwnedCells == 0 {
+			t.Errorf("shard %d owned no cells", i)
+		}
+		owned += reports[i].OwnedCells
+		sims += int(runners[i].Stats().Simulations)
+	}
+	if owned != totalCells {
+		t.Errorf("shards owned %d cells in total, want %d (partition not disjoint+complete)", owned, totalCells)
+	}
+	// The partition is disjoint, so across all shards every unique cell
+	// is simulated exactly once — no duplicated work, nothing skipped.
+	if sims != totalCells {
+		t.Errorf("shards simulated %d cells in total, want exactly %d", sims, totalCells)
+	}
+
+	merger := storeRunner(openShardStore(t, dir))
+	msr, missing, err := merger.SweepMerge(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("merge reported missing cells after all shards finished: %v", missing)
+	}
+	var got bytes.Buffer
+	if err := msr.WriteTable(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("merged table differs from the single-process run:\n--- single\n%s--- merged\n%s", want.String(), got.String())
+	}
+	if ms := merger.Stats(); ms.Simulations != 0 {
+		t.Errorf("merge simulated %d cells; merge must be store-only", ms.Simulations)
+	}
+}
+
+// TestShardCrashResume kills one shard mid-sweep at a randomized cell
+// (context cancel on the nth progress event), restarts it, and checks
+// the resume does exactly the missing work: simulations on the second
+// run equal the shard's owned cells minus what the killed run
+// persisted. Then the partner shard and the merge complete normally.
+func TestShardCrashResume(t *testing.T) {
+	spec := shardSpec()
+	dir := t.TempDir()
+	sh := Shard{Index: 0, Count: 2}
+
+	// A fixed seed keeps the run reproducible while still exercising an
+	// arbitrary kill point rather than a hand-picked one.
+	kill := int64(rand.New(rand.NewSource(7)).Intn(12) + 1)
+	killed := storeRunner(openShardStore(t, dir))
+	killed.SetProgressInterval(500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events atomic.Int64
+	killed.Observe(func(Progress) {
+		if events.Add(1) == kill {
+			cancel()
+		}
+	})
+	_, err := killed.SweepShard(ctx, spec, sh, nil)
+	if err == nil {
+		t.Fatal("killed shard reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed shard failed with %v, want context.Canceled", err)
+	}
+
+	st := openShardStore(t, dir)
+	info, err := st.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := info.ByKind[store.KindExact]
+	t.Logf("kill after %d progress events: %d cells persisted", kill, persisted)
+
+	resumed := storeRunner(openShardStore(t, dir))
+	rep, err := resumed.SweepShard(context.Background(), spec, sh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := resumed.Stats()
+	if int(rs.Simulations) != rep.OwnedCells-persisted {
+		t.Errorf("resume simulated %d cells, want %d (owned %d - persisted %d)",
+			rs.Simulations, rep.OwnedCells-persisted, rep.OwnedCells, persisted)
+	}
+	if int(rs.StoreHits) != persisted {
+		t.Errorf("resume store hits = %d, want %d", rs.StoreHits, persisted)
+	}
+
+	// Before the partner shard runs, merge must refuse with exactly the
+	// partner's cells missing.
+	partial := storeRunner(openShardStore(t, dir))
+	sr, missing, err := partial.SweepMerge(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != nil {
+		t.Error("merge produced a table with cells missing")
+	}
+	if want := rep.TotalCells - rep.OwnedCells; len(missing) != want {
+		t.Errorf("merge reported %d missing cells, want %d: %v", len(missing), want, missing)
+	}
+
+	partner := storeRunner(openShardStore(t, dir))
+	if _, err := partner.SweepShard(context.Background(), spec, Shard{Index: 1, Count: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	final, missing, err := partial.SweepMerge(spec, nil)
+	if err != nil || len(missing) != 0 || final == nil {
+		t.Fatalf("final merge: result %v, missing %v, err %v", final != nil, missing, err)
+	}
+}
+
+// TestShardSampledPlanBuiltOnce pins the tentpole acceptance property
+// at shard scope: across sequential shard processes of a sampled
+// sweep, each (benchmark, scale, regime) plan is built by exactly one
+// process — the second shard loads every plan from the store and
+// builds none — and the merged sampled table matches a single-process
+// sampled run byte for byte.
+func TestShardSampledPlanBuiltOnce(t *testing.T) {
+	ctx := context.Background()
+	spec := &SweepSpec{
+		Title:        "sampled shard probe",
+		Benchmarks:   []string{"tst", "untst"},
+		Scale:        1,
+		PerBenchmark: true,
+		Variants: []VariantSpec{
+			{Label: "opt"},
+			{Label: "mbc32", Set: map[string]any{"Opt.MBCEntries": float64(32)}},
+		},
+	}
+	sc := sample.DefaultConfig()
+	dir := t.TempDir()
+
+	first := storeRunner(openShardStore(t, dir))
+	if _, err := first.SweepShard(ctx, spec, Shard{Index: 0, Count: 2}, &sc); err != nil {
+		t.Fatal(err)
+	}
+	fs := first.Stats()
+	if fs.PlanBuilds != 2 || fs.PlanStoreWrites != 2 {
+		t.Errorf("first shard stats = %+v, want one plan built and persisted per benchmark", fs)
+	}
+
+	second := storeRunner(openShardStore(t, dir))
+	if _, err := second.SweepShard(ctx, spec, Shard{Index: 1, Count: 2}, &sc); err != nil {
+		t.Fatal(err)
+	}
+	ss := second.Stats()
+	if ss.PlanBuilds != 0 {
+		t.Errorf("second shard rebuilt %d plans; every plan must come from the store", ss.PlanBuilds)
+	}
+	if ss.PlanStoreHits != 2 {
+		t.Errorf("second shard plan store hits = %d, want 2 (one per benchmark)", ss.PlanStoreHits)
+	}
+
+	merger := storeRunner(openShardStore(t, dir))
+	msr, missing, err := merger.SweepMerge(spec, &sc)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("sampled merge: missing %v, err %v", missing, err)
+	}
+	var got bytes.Buffer
+	if err := msr.WriteTable(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := NewRunner(2)
+	gsr, err := golden.SweepSampled(ctx, spec, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := gsr.WriteTable(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("merged sampled table differs from a single-process run:\n--- single\n%s--- merged\n%s", want.String(), got.String())
+	}
+}

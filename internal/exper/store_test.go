@@ -278,6 +278,160 @@ func TestSweepKillAndResume(t *testing.T) {
 	}
 }
 
+// planEntry locates the single KindPlan entry of a store.
+func planEntry(t *testing.T, st *store.Store) store.Entry {
+	t.Helper()
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []store.Entry
+	for _, e := range entries {
+		if e.Err == nil && e.Key.Kind == store.KindPlan {
+			plans = append(plans, e)
+		}
+	}
+	if len(plans) != 1 {
+		t.Fatalf("store holds %d plan entries, want 1", len(plans))
+	}
+	return plans[0]
+}
+
+// TestPlanStoreSharedAcrossProcesses is the tentpole invariant at
+// engine scope: the fast-forward that builds a sampled-run plan is paid
+// once per (benchmark, scale, regime) across every process that shares
+// the store — a second process sampling the same workload under a new
+// machine configuration loads the plan instead of rebuilding it, and
+// the loaded plan drives an estimate identical to a from-scratch run.
+func TestPlanStoreSharedAcrossProcesses(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+	sc := sample.DefaultConfig()
+	cfgA := pipeline.DefaultConfig()
+	cfgB := pipeline.DefaultConfig()
+	cfgB.Opt.MBCEntries /= 2
+
+	r1 := storeRunner(st)
+	if _, err := r1.RunSampled(ctx, cfgA, b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+	if s1 := r1.Stats(); s1.PlanBuilds != 1 || s1.PlanStoreWrites != 1 || s1.PlanStoreHits != 0 {
+		t.Errorf("cold process stats = %+v, want 1 plan built and persisted", s1)
+	}
+
+	// "Process" 2: a different machine config, so the sampled-result
+	// store cannot answer — but the plan store must.
+	r2 := storeRunner(st)
+	got, err := r2.RunSampled(ctx, cfgB, b, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := r2.Stats()
+	if s2.PlanBuilds != 0 || s2.PlanStoreHits != 1 {
+		t.Errorf("second process stats = %+v, want the plan loaded, not rebuilt", s2)
+	}
+	if s2.Simulations != 1 {
+		t.Errorf("second process ran %d simulations, want 1 (new config)", s2.Simulations)
+	}
+
+	// Within process 2 a third config reuses the now-resident plan from
+	// memory; the store is not consulted again.
+	cfgC := pipeline.DefaultConfig()
+	cfgC.Opt.MBCEntries /= 4
+	if _, err := r2.RunSampled(ctx, cfgC, b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+	if s2b := r2.Stats(); s2b.PlanStoreHits != 1 || s2b.PlanHits != 1 {
+		t.Errorf("third config stats = %+v, want a memory plan hit", s2b)
+	}
+
+	// The store-loaded plan is indistinguishable: a storeless engine
+	// building everything from scratch produces the identical estimate.
+	fresh := NewRunner(2)
+	want, err := fresh.RunSampled(ctx, cfgB, b, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("store-loaded plan diverged from a fresh build:\nfresh %+v\nloaded %+v", want, got)
+	}
+}
+
+// TestPlanStoreTornEntryRebuilt fault-injects a partial plan write: a
+// truncated entry must read as a miss (never an error), be rebuilt, and
+// be healed for the next process.
+func TestPlanStoreTornEntryRebuilt(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+	sc := sample.DefaultConfig()
+
+	r1 := storeRunner(st)
+	if _, err := r1.RunSampled(ctx, pipeline.DefaultConfig(), b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+	e := planEntry(t, st)
+	data, err := os.ReadFile(e.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(e.Path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := pipeline.DefaultConfig()
+	cfgB.Opt.MBCEntries /= 2
+	r2 := storeRunner(st)
+	if _, err := r2.RunSampled(ctx, cfgB, b, 1, sc); err != nil {
+		t.Fatalf("torn plan entry surfaced an error: %v", err)
+	}
+	if s2 := r2.Stats(); s2.PlanBuilds != 1 || s2.PlanStoreHits != 0 || s2.PlanStoreWrites != 1 {
+		t.Errorf("stats over torn entry = %+v, want a rebuild + healing write", s2)
+	}
+
+	cfgC := pipeline.DefaultConfig()
+	cfgC.Opt.MBCEntries /= 4
+	r3 := storeRunner(st)
+	if _, err := r3.RunSampled(ctx, cfgC, b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+	if s3 := r3.Stats(); s3.PlanBuilds != 0 || s3.PlanStoreHits != 1 {
+		t.Errorf("stats after healing = %+v, want a plan store hit", s3)
+	}
+}
+
+// TestPlanStoreVersionSkewRebuilt replaces the persisted plan with one
+// carrying a foreign codec version — what a store shared with an
+// incompatible build looks like. It must be ignored and rebuilt, never
+// misapplied.
+func TestPlanStoreVersionSkewRebuilt(t *testing.T) {
+	ctx := context.Background()
+	st := openStore(t)
+	b := bench(t, "tst")
+	sc := sample.DefaultConfig()
+
+	r1 := storeRunner(st)
+	if _, err := r1.RunSampled(ctx, pipeline.DefaultConfig(), b, 1, sc); err != nil {
+		t.Fatal(err)
+	}
+	e := planEntry(t, st)
+	stale := map[string]any{"codec": sample.PlanCodecVersion - 1, "program": b.Name}
+	if err := st.Put(e.Key, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := pipeline.DefaultConfig()
+	cfgB.Opt.MBCEntries /= 2
+	r2 := storeRunner(st)
+	if _, err := r2.RunSampled(ctx, cfgB, b, 1, sc); err != nil {
+		t.Fatalf("stale-codec plan surfaced an error: %v", err)
+	}
+	if s2 := r2.Stats(); s2.PlanBuilds != 1 || s2.PlanStoreHits != 0 || s2.PlanStoreWrites != 1 {
+		t.Errorf("stats over stale-codec entry = %+v, want a rebuild + healing write", s2)
+	}
+}
+
 // TestStoreSharedAcrossLabels pins the content-hash property end to
 // end: two sweeps describing the same machine under different labels
 // share store entries, not just memory cache slots.

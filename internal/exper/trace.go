@@ -229,6 +229,15 @@ func (r *Runner) traceFor(ctx context.Context, bench *workloads.Benchmark, scale
 // be normalized. A nil plan with nil error means the cache is disabled
 // and the caller should run the unplanned path. Call with a
 // worker-pool slot held: the leader builds under the caller's slot.
+//
+// When a store is attached the in-memory plan cache layers over it
+// exactly like the result caches: the leader consults the store before
+// building (a hit installs the persisted plan and skips the
+// fast-forward entirely — that is what lets sweep shards in separate
+// processes share one BuildPlan per regime), and persists every plan it
+// does build before waking waiters. Store reads that fail — missing,
+// torn mid-write, or written by a build with a different plan codec —
+// are misses: the leader rebuilds and the Put heals the entry.
 func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale int, sc sample.Config, totalInsts uint64) (*sample.Plan, error) {
 	k := planKey{bench: bench.Name, scale: scale, sampling: sc.Key()}
 	for {
@@ -248,6 +257,20 @@ func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale 
 		r.tmu.Unlock()
 
 		if !ok {
+			var sk store.Key
+			if st := r.store.Load(); st != nil {
+				sk = store.PlanKey(k.bench, k.scale, k.sampling, r.workloadKey(bench, scale))
+				var cached sample.Plan
+				if st.Get(sk, &cached) == nil {
+					r.planStoreHits.Add(1)
+					r.tmu.Lock()
+					e.plan = &cached
+					r.publishLocked(e, r.plans[k], cached.Bytes())
+					r.tmu.Unlock()
+					close(e.done)
+					return &cached, nil
+				}
+			}
 			plan, err := sample.BuildPlan(ctx, bench.Program(scale), sc, totalInsts)
 			if err != nil {
 				if ctxErr(err) {
@@ -262,6 +285,11 @@ func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale 
 				return nil, err
 			}
 			r.planBuilds.Add(1)
+			if sk.Kind != "" {
+				if st := r.store.Load(); st != nil && st.Put(sk, plan) == nil {
+					r.planStoreWrites.Add(1)
+				}
+			}
 			r.tmu.Lock()
 			e.plan = plan
 			r.publishLocked(e, r.plans[k], plan.Bytes())

@@ -10,6 +10,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 const (
@@ -134,6 +135,100 @@ func (m *Memory) WriteBlock(addr uint64, data []byte) {
 
 // PageCount returns the number of resident pages (for tests and stats).
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Page is one resident page of a Memory in serializable form: the
+// page's base address plus its data with trailing zero bytes trimmed
+// (untouched memory reads as zero, so the trim is lossless). The JSON
+// form base64-encodes Data, which is what keeps serialized checkpoint
+// memory images compact.
+type Page struct {
+	Base uint64 `json:"base"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// Export returns the memory image as a deterministic page list: sorted
+// by base address, trailing zeros trimmed, all-zero pages dropped.
+// Determinism matters — two processes exporting the same image must
+// produce identical bytes, so content-addressed stores see idempotent
+// rewrites.
+func (m *Memory) Export() []Page {
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Page, 0, len(keys))
+	for _, k := range keys {
+		p := m.pages[k]
+		n := PageSize
+		for n > 0 && p[n-1] == 0 {
+			n--
+		}
+		if n == 0 {
+			continue // all-zero page: absent and resident read the same
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		out = append(out, Page{Base: k << pageBits, Data: data})
+	}
+	return out
+}
+
+// FromPages reconstructs a Memory from an Export page list, validating
+// that each base is page-aligned, no page exceeds PageSize, and no base
+// repeats — the errors a torn or hand-edited serialized image would
+// produce.
+func FromPages(pages []Page) (*Memory, error) {
+	m := New()
+	for i, pg := range pages {
+		if pg.Base&pageMask != 0 {
+			return nil, fmt.Errorf("mem: page %d: base %#x not %d-byte aligned", i, pg.Base, PageSize)
+		}
+		if len(pg.Data) > PageSize {
+			return nil, fmt.Errorf("mem: page %d: %d bytes exceeds the %d-byte page size", i, len(pg.Data), PageSize)
+		}
+		key := pg.Base >> pageBits
+		if _, dup := m.pages[key]; dup {
+			return nil, fmt.Errorf("mem: page %d: duplicate base %#x", i, pg.Base)
+		}
+		p := new([PageSize]byte)
+		copy(p[:], pg.Data)
+		m.pages[key] = p
+	}
+	return m, nil
+}
+
+// Equal reports whether two memory images hold the same contents,
+// treating absent pages and all-zero pages as identical (both read as
+// zero). Internal caches and page residency do not participate.
+func (m *Memory) Equal(o *Memory) bool {
+	zero := func(p *[PageSize]byte) bool {
+		for _, b := range p {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for k, p := range m.pages {
+		q, ok := o.pages[k]
+		if !ok {
+			if !zero(p) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	for k, q := range o.pages {
+		if _, ok := m.pages[k]; !ok && !zero(q) {
+			return false
+		}
+	}
+	return true
+}
 
 // Clone returns a deep copy of the memory image. The timing model clones
 // the initial image so that oracle and replayed executions cannot alias.

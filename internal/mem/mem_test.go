@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -191,5 +192,94 @@ func TestQuickAgainstReferenceModel(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := New()
+	m.Store64(0, 0x1111111111111111)
+	m.Store64(PageSize-8, 0x2222222222222222) // fills a page to its last byte
+	m.Store64(3*PageSize+16, 0x33)            // sparse page, long zero tail
+	m.Store64(1<<40, 0x4444444444444444)      // distant page
+	m.Load64(7 * PageSize)                    // resident? no — reads never allocate
+
+	pages := m.Export()
+	got, err := FromPages(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) || !got.Equal(m) {
+		t.Error("export/import round trip changed the image")
+	}
+	for _, a := range []uint64{0, PageSize - 8, 3*PageSize + 16, 1 << 40, 5 * PageSize} {
+		if got.Load64(a) != m.Load64(a) {
+			t.Errorf("addr %#x: imported %#x, original %#x", a, got.Load64(a), m.Load64(a))
+		}
+	}
+}
+
+func TestExportDeterministicAndTrimmed(t *testing.T) {
+	build := func(order []uint64) *Memory {
+		m := New()
+		for _, a := range order {
+			m.Store64(a, a+1)
+		}
+		return m
+	}
+	addrs := []uint64{5 * PageSize, 0, 2 * PageSize, 1 << 30}
+	rev := []uint64{1 << 30, 2 * PageSize, 0, 5 * PageSize}
+	a, b := build(addrs).Export(), build(rev).Export()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Export depends on store order; serialized images must be canonical")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Base <= a[i-1].Base {
+			t.Errorf("Export not sorted: page %d base %#x after %#x", i, a[i].Base, a[i-1].Base)
+		}
+	}
+	// A page holding one word at its start must not serialize 4KiB.
+	m := New()
+	m.Store64(0, 1)
+	if pg := m.Export(); len(pg) != 1 || len(pg[0].Data) > 8 {
+		t.Errorf("trailing zeros not trimmed: %d pages, %d bytes", len(pg), len(pg[0].Data))
+	}
+	// An all-zero resident page is dropped entirely: it reads the same
+	// as an absent page.
+	z := New()
+	z.Store64(0x100, 1)
+	z.Store64(0x100, 0)
+	if pg := z.Export(); len(pg) != 0 {
+		t.Errorf("all-zero page exported: %v", pg)
+	}
+}
+
+func TestFromPagesRejectsTornImages(t *testing.T) {
+	cases := []struct {
+		name  string
+		pages []Page
+	}{
+		{"misaligned", []Page{{Base: 8, Data: []byte{1}}}},
+		{"oversized", []Page{{Base: 0, Data: make([]byte, PageSize+1)}}},
+		{"duplicate", []Page{{Base: 0, Data: []byte{1}}, {Base: 0, Data: []byte{2}}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromPages(tc.pages); err == nil {
+			t.Errorf("%s: FromPages accepted a torn image", tc.name)
+		}
+	}
+}
+
+func TestEqualTreatsZeroPagesAsAbsent(t *testing.T) {
+	a, b := New(), New()
+	a.Store64(0x100, 7)
+	b.Store64(0x100, 7)
+	a.Store64(5*PageSize, 1)
+	a.Store64(5*PageSize, 0) // resident all-zero page in a only
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("resident all-zero page broke equality with an absent page")
+	}
+	b.Store64(0x108, 9)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("differing images compared equal")
 	}
 }

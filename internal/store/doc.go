@@ -15,7 +15,7 @@
 // its entries instead of serving stale results), the effective
 // iteration scale, and (for sampled estimates) the sampling-regime key
 // (sample.Config.Key) — and the entry's path is derived from a hash of
-// that Key. Three entry kinds occupy disjoint namespaces and can never
+// that Key. Four entry kinds occupy disjoint namespaces and can never
 // collide:
 //
 //   - KindExact: a cycle-exact pipeline.Result
@@ -25,6 +25,15 @@
 //     must never share a slot
 //   - KindCount: a benchmark's dynamic instruction count (no machine
 //     configuration — the architectural emulator defines it)
+//   - KindPlan: a sampled-run window plan (sample.Plan — the window
+//     schedule plus an architectural checkpoint per window), keyed by
+//     benchmark, scale, workload hash and sampling regime but no
+//     machine configuration: the plan is the config-independent half
+//     of a sampled run, so one stored plan serves every configuration
+//     of a sweep, across every process that shares the store. The
+//     plan payload carries its own codec version (sample
+//     .PlanCodecVersion) on top of the envelope version; a version
+//     mismatch reads as corrupt and triggers a rebuild.
 //
 // Because pipeline.Config.Key hashes the configuration's content (the
 // display name excluded), two sweeps that describe the same machine

@@ -31,6 +31,13 @@ const (
 	KindExact   = "exact"
 	KindSampled = "sampled"
 	KindCount   = "count"
+	// KindPlan entries hold sampled-run window plans (sample.Plan:
+	// checkpoints + window schedule). Plans are config-independent —
+	// one entry per (benchmark, scale, sampling regime, workload hash)
+	// serves every machine configuration — and carry their own codec
+	// version inside the payload, so a plan from an incompatible build
+	// reads as corrupt (a miss) and is rebuilt, never misapplied.
+	KindPlan = "plan"
 )
 
 // Key is the canonical identity of one stored result. Its fields are
@@ -38,7 +45,8 @@ const (
 // what makes the store a drop-in durable layer below the in-memory
 // cache.
 type Key struct {
-	// Kind is the entry's namespace: KindExact, KindSampled or KindCount.
+	// Kind is the entry's namespace: KindExact, KindSampled, KindCount
+	// or KindPlan.
 	Kind string `json:"kind"`
 	// ConfigKey is pipeline.Config.Key() of the simulated machine —
 	// empty for KindCount, whose value is machine-independent.
@@ -54,7 +62,8 @@ type Key struct {
 	// to the simulator itself are not captured by any key field — after
 	// a timing-model change, bump Version or drop the store directory.)
 	Workload string `json:"workload"`
-	// Sampling is sample.Config.Key() of the regime, KindSampled only.
+	// Sampling is sample.Config.Key() of the regime — KindSampled and
+	// KindPlan only.
 	Sampling string `json:"sampling,omitempty"`
 }
 
@@ -74,6 +83,14 @@ func CountKey(benchmark string, scale int, workload string) Key {
 	return Key{Kind: KindCount, Benchmark: benchmark, Scale: scale, Workload: workload}
 }
 
+// PlanKey builds the Key of a sampled-run window plan under the given
+// sampling-regime key. Plans carry no config key: the window schedule
+// and its checkpoints are machine-independent, which is exactly why one
+// stored plan serves every configuration of a sweep — across processes.
+func PlanKey(benchmark string, scale int, sampling, workload string) Key {
+	return Key{Kind: KindPlan, Benchmark: benchmark, Scale: scale, Sampling: sampling, Workload: workload}
+}
+
 // Validate rejects keys that cannot address an entry.
 func (k Key) Validate() error {
 	switch k.Kind {
@@ -91,6 +108,13 @@ func (k Key) Validate() error {
 	case KindCount:
 		if k.ConfigKey != "" || k.Sampling != "" {
 			return fmt.Errorf("store: count key must not carry a config key or sampling regime")
+		}
+	case KindPlan:
+		if k.Sampling == "" {
+			return fmt.Errorf("store: plan key needs a sampling regime")
+		}
+		if k.ConfigKey != "" {
+			return fmt.Errorf("store: plan key must not carry a config key (plans are config-independent)")
 		}
 	default:
 		return fmt.Errorf("store: unknown entry kind %q", k.Kind)

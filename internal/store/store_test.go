@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -11,6 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/emu"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 )
@@ -149,6 +152,129 @@ func TestCountRoundTrip(t *testing.T) {
 	}
 }
 
+// testPlan builds a small but fully populated plan: two windows, live
+// registers, and a sparse multi-page memory image.
+func testPlan() *sample.Plan {
+	p := &sample.Plan{Program: "b", TotalInsts: 5000, Period: 1000}
+	for i := 0; i < 2; i++ {
+		ck := &emu.Checkpoint{
+			Program:   "b",
+			PC:        uint64(64 + 8*i),
+			InstCount: uint64(900 + 1000*i),
+			Mem:       mem.New(),
+		}
+		ck.Regs[1] = uint64(41 + i)
+		ck.Regs[30] = uint64(7 + i)
+		ck.Mem.Store64(0x100, uint64(0xAB+i))
+		ck.Mem.Store64(5*mem.PageSize+16, uint64(0xCD+i))
+		p.Windows = append(p.Windows, sample.PlanWindow{
+			Index: i, Start: uint64(100 + 1000*i), WarmFrom: uint64(50 + 1000*i), Ck: ck,
+		})
+	}
+	return p
+}
+
+func TestPlanRoundTripThroughStore(t *testing.T) {
+	s := openTemp(t)
+	plan := testPlan()
+	k := PlanKey("b", 1, "p1000.t2.w60.x30", "w1")
+	if err := s.Put(k, plan); err != nil {
+		t.Fatal(err)
+	}
+	var got sample.Plan
+	if err := s.Get(k, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != plan.Program || got.TotalInsts != plan.TotalInsts ||
+		got.Period != plan.Period || len(got.Windows) != len(plan.Windows) {
+		t.Fatalf("plan header changed: put %+v, got %+v", plan, &got)
+	}
+	for i := range plan.Windows {
+		a, b := plan.Windows[i], got.Windows[i]
+		if a.Index != b.Index || a.Start != b.Start || a.WarmFrom != b.WarmFrom ||
+			a.Ck.PC != b.Ck.PC || a.Ck.InstCount != b.Ck.InstCount || a.Ck.Regs != b.Ck.Regs {
+			t.Errorf("window %d changed: put %+v, got %+v", i, a, b)
+		}
+		if !a.Ck.Mem.Equal(b.Ck.Mem) {
+			t.Errorf("window %d memory image changed", i)
+		}
+	}
+}
+
+// TestPlanCodecSkewReadsAsMiss proves the layered versioning: an entry
+// whose envelope is intact but whose plan payload carries a foreign
+// codec version reads as corrupt — the engine's miss path — and a
+// later Put of a current-codec plan heals the same slot.
+func TestPlanCodecSkewReadsAsMiss(t *testing.T) {
+	s := openTemp(t)
+	k := PlanKey("b", 1, "regime", "w1")
+	stale := map[string]any{"codec": sample.PlanCodecVersion - 1, "program": "b"}
+	if err := s.Put(k, stale); err != nil {
+		t.Fatal(err)
+	}
+	var got sample.Plan
+	if err := s.Get(k, &got); !IsCorrupt(err) {
+		t.Errorf("Get of a stale-codec plan = %v, want a CorruptError", err)
+	}
+	if err := s.Put(k, testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Get(k, &got); err != nil || len(got.Windows) != 2 {
+		t.Errorf("after healing Put: %d windows, err %v", len(got.Windows), err)
+	}
+}
+
+// TestPlanGCHonorsTempGrace is the in-flight-write guard: a concurrent
+// shard's fresh temp file in a plan shard directory must survive GC
+// (removing it would fail that shard's rename), while a crash orphan
+// past the grace window is collected — and the intact plan entry is
+// never touched either way.
+func TestPlanGCHonorsTempGrace(t *testing.T) {
+	s := openTemp(t)
+	k := PlanKey("b", 2, "regime", "w1")
+	if err := s.Put(k, testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(s.path(k))
+	fresh := filepath.Join(shard, ".tmp-inflight")
+	if err := os.WriteFile(fresh, []byte("concurrent shard mid-Put"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, ".tmp-orphan")
+	if err := os.WriteFile(orphan, []byte("crashed shard"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.ByKind[KindPlan] != 1 || st.TempFiles != 1 {
+		t.Fatalf("Stat = %+v, want 1 plan entry and 1 abandoned temp", st)
+	}
+	rep, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedTemp != 1 || rep.RemovedCorrupt != 0 || rep.RemainingIntact != 1 {
+		t.Errorf("GC = %+v", rep)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("GC removed a live (fresh) temp file: %v", err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("GC left the orphaned temp file: %v", err)
+	}
+	var got sample.Plan
+	if err := s.Get(k, &got); err != nil {
+		t.Errorf("plan entry unreadable after GC: %v", err)
+	}
+}
+
 func TestGetMissing(t *testing.T) {
 	s := openTemp(t)
 	var out pipeline.Result
@@ -163,11 +289,13 @@ func TestKeyValidation(t *testing.T) {
 	bad := []Key{
 		{},
 		{Kind: "weird", Benchmark: "b", Scale: 1},
-		{Kind: KindExact, Benchmark: "b", Scale: 1},                                // no config key
-		{Kind: KindExact, ConfigKey: "c", Benchmark: "b", Scale: 1, Sampling: "p"}, // regime on exact
-		{Kind: KindSampled, ConfigKey: "c", Benchmark: "b", Scale: 1},              // no regime
-		{Kind: KindCount, ConfigKey: "c", Benchmark: "b", Scale: 1},                // config on count
-		{Kind: KindExact, ConfigKey: "c", Benchmark: "b", Scale: 1},                // no workload hash
+		{Kind: KindExact, Benchmark: "b", Scale: 1},                                              // no config key
+		{Kind: KindExact, ConfigKey: "c", Benchmark: "b", Scale: 1, Sampling: "p"},               // regime on exact
+		{Kind: KindSampled, ConfigKey: "c", Benchmark: "b", Scale: 1},                            // no regime
+		{Kind: KindCount, ConfigKey: "c", Benchmark: "b", Scale: 1},                              // config on count
+		{Kind: KindPlan, Benchmark: "b", Scale: 1, Workload: "w"},                                // no regime on plan
+		{Kind: KindPlan, ConfigKey: "c", Benchmark: "b", Scale: 1, Sampling: "p", Workload: "w"}, // config on plan
+		{Kind: KindExact, ConfigKey: "c", Benchmark: "b", Scale: 1},                              // no workload hash
 		ExactKey("c", "", 1, "w"),
 		ExactKey("c", "b", 0, "w"),
 	}
@@ -397,14 +525,17 @@ func TestListStatGC(t *testing.T) {
 
 func TestNamespacesDisjoint(t *testing.T) {
 	s := openTemp(t)
-	// Same coordinates under all three kinds plus two regimes: five
-	// distinct entries.
+	// Same coordinates under all four kinds plus two regimes: seven
+	// distinct entries. A plan and a sampled estimate of the same
+	// regime are different artifacts and must never share a slot.
 	keys := []Key{
 		ExactKey("cfg", "b", 1, "w1"),
 		ExactKey("cfg", "b", 1, "w2"), // same benchmark, edited source
 		SampledKey("cfg", "b", 1, "regimeA", "w1"),
 		SampledKey("cfg", "b", 1, "regimeB", "w1"),
 		CountKey("b", 1, "w1"),
+		PlanKey("b", 1, "regimeA", "w1"),
+		PlanKey("b", 1, "regimeB", "w1"),
 	}
 	seen := map[string]Key{}
 	for _, k := range keys {

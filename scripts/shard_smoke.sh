@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Shard smoke test: run one sampled sweep as two concurrent shard
+# processes coordinating only through a shared store directory, merge
+# the table from the store, and diff it against a single-process run of
+# the same spec — then assert the warm paths: an identical rerun
+# performs zero simulations, and a new machine configuration over the
+# same workloads builds zero window plans (every plan is a store hit).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-/tmp/contopt-shard-smoke}
+STORE=$(mktemp -d)
+WORK=$(mktemp -d)
+
+cleanup() {
+  rm -rf "$STORE" "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "shard_smoke: $1" >&2
+  exit 1
+}
+
+go build -o "$BIN" ./cmd/contopt
+
+SPEC="$WORK/spec.json"
+cat > "$SPEC" <<'EOF'
+{
+  "title": "shard smoke",
+  "benchmarks": ["mcf", "untst", "tst"],
+  "scale": 1,
+  "per_benchmark": true,
+  "variants": [
+    {"label": "opt"},
+    {"label": "mbc32", "set": {"Opt.MBCEntries": 32}}
+  ]
+}
+EOF
+
+# Single-process reference table, no store involved.
+"$BIN" sweep -sample "$SPEC" > "$WORK/single.txt"
+
+# Cold: two shard processes run concurrently against one store. Neither
+# prints a table; the store is their only output channel.
+"$BIN" sweep -sample -store "$STORE" -shard 0/2 "$SPEC" > "$WORK/shard0.txt" &
+PID0=$!
+"$BIN" sweep -sample -store "$STORE" -shard 1/2 "$SPEC" > "$WORK/shard1.txt" &
+PID1=$!
+wait "$PID0" || fail "shard 0/2 exited non-zero"
+wait "$PID1" || fail "shard 1/2 exited non-zero"
+grep -q "simulated and persisted" "$WORK/shard0.txt" || fail "shard 0/2 printed no report"
+grep -q "simulated and persisted" "$WORK/shard1.txt" || fail "shard 1/2 printed no report"
+
+# Merge assembles the table from store entries alone; it must be
+# byte-identical to the single-process run.
+"$BIN" sweep -sample -store "$STORE" -merge -v "$SPEC" > "$WORK/merged.txt" 2> "$WORK/merge.log"
+diff -u "$WORK/single.txt" "$WORK/merged.txt" \
+  || fail "merged table differs from the single-process sweep"
+grep -q "engine: 0 simulations" "$WORK/merge.log" \
+  || fail "merge ran simulations: $(cat "$WORK/merge.log")"
+
+# Warm: the identical sweep over the populated store re-simulates
+# nothing.
+"$BIN" sweep -sample -store "$STORE" -v "$SPEC" > /dev/null 2> "$WORK/warm.log"
+grep -q "engine: 0 simulations" "$WORK/warm.log" \
+  || fail "warm rerun simulated cells: $(cat "$WORK/warm.log")"
+
+# New machine configuration, same workloads and sampling regime: the
+# results are cold but every window plan comes from the store — zero
+# plans built, nonzero plan store hits.
+sed 's/"mbc32"/"mbc16"/; s/: 32/: 16/' "$SPEC" > "$WORK/spec2.json"
+"$BIN" sweep -sample -store "$STORE" -v "$WORK/spec2.json" > /dev/null 2> "$WORK/plans.log"
+grep -q "0 plans built" "$WORK/plans.log" \
+  || fail "new-config sweep rebuilt plans: $(cat "$WORK/plans.log")"
+grep -Eq "\([1-9][0-9]* store hits" "$WORK/plans.log" \
+  || fail "new-config sweep loaded no plans from the store: $(cat "$WORK/plans.log")"
+
+echo "shard_smoke: ok (2 shards merged identical to single process; warm 0 simulations; plans served from the store)"
