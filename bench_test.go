@@ -30,6 +30,16 @@ import (
 // benchScale keeps the full experiment suite fast under -bench.
 const benchScale = 1
 
+// benchRun runs the pipeline and fails the benchmark on error.
+func benchRun(b *testing.B, cfg pipeline.Config, prog *emu.Program) *pipeline.Result {
+	b.Helper()
+	res, err := pipeline.Run(cfg, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 func benchOpts() harness.Options {
 	return harness.Options{Scale: benchScale}
 }
@@ -44,8 +54,8 @@ func runSuitePair(b *testing.B, variant pipeline.Config) map[string]float64 {
 	base := pipeline.DefaultConfig().Baseline()
 	for _, bench := range workloads.All() {
 		prog := bench.Program(benchScale)
-		rb := pipeline.Run(base, prog)
-		rv := pipeline.Run(variant, prog)
+		rb := benchRun(b, base, prog)
+		rv := benchRun(b, variant, prog)
 		sp := rv.SpeedupOver(rb)
 		if prod[bench.Suite] == 0 {
 			prod[bench.Suite] = 1
@@ -91,7 +101,7 @@ func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var e, r, m, mem, a, l, lr, mis uint64
 		for _, bench := range workloads.All() {
-			res := pipeline.Run(pipeline.DefaultConfig(), bench.Program(benchScale))
+			res := benchRun(b, pipeline.DefaultConfig(), bench.Program(benchScale))
 			e += res.Opt.EarlyExecuted
 			r += res.Opt.Renamed
 			a += res.Opt.AddrKnown

@@ -17,9 +17,19 @@
 //	contopt sweep -shard i/n|-merge   shard a sweep across processes via
 //	                                  the shared store, then merge
 //	contopt sample-check [bench ...]  validate the sampled estimator vs exact
-//	contopt store <ls|stat|gc|verify> inspect/maintain the persistent store
+//	contopt store <ls|stat|gc|verify [-quarantine]>
+//	                                  inspect/maintain the persistent store
 //	contopt serve [-addr :8080]       multi-tenant sweep service over HTTP
 //	contopt all                       everything above
+//
+// Failure rehearsal: -faults (or CONTOPT_FAULTS) arms the deterministic
+// fault-injection registry (internal/fault) across every layer — store
+// I/O, engine cells, sampled windows, served jobs — so operators can
+// rehearse disk pressure or wedged cells against a production-shaped
+// process: e.g. -faults 'store.write:err=ENOSPC;exper.cell:panic:key=mcf'.
+// The engine contains the damage (retry, degrade to memory-only caching,
+// recover panics per cell) and reports it via -v and /metrics;
+// -watchdog-soft/-watchdog-hard bound individual cell runtimes.
 //
 // Every experiment runs on one shared exper engine, so a single "all"
 // invocation simulates each unique (config, benchmark, scale) triple
@@ -113,6 +123,10 @@
 //	-sample-warmup N  detailed warmup instructions per window (stats discarded)
 //	-sample-window N  measured detailed instructions per window
 //	-tolerance PCT    sample-check failure threshold (default 5)
+//	-faults SPEC      arm deterministic fault injection (env CONTOPT_FAULTS;
+//	                  see internal/fault for the clause grammar)
+//	-watchdog-soft D  log a goroutine dump for cells running longer than D
+//	-watchdog-hard D  cancel cells running longer than D (0 = off)
 //	-addr HOST:PORT   serve: HTTP listen address
 //	-drain D          serve: graceful drain timeout on shutdown
 //	-max-jobs N       serve: concurrent running jobs (0 = default)
@@ -129,6 +143,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -138,6 +153,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/exper"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
@@ -180,6 +196,9 @@ func run(ctx context.Context, args []string) error {
 	sampleWindow := fs.Uint64("sample-window", 0, "measured detailed instructions per window (0 = default)")
 	tolerance := fs.Float64("tolerance", 5, "sample-check failure threshold, percent")
 	checkIPC := fs.Bool("check-ipc", false, "sample-check: also gate per-machine IPC errors, not just speedup")
+	faults := fs.String("faults", os.Getenv("CONTOPT_FAULTS"), "fault-injection spec for failure rehearsal (default $CONTOPT_FAULTS; empty = none)")
+	watchdogSoft := fs.Duration("watchdog-soft", 0, "per-cell soft deadline: log a goroutine dump past this (0 = off)")
+	watchdogHard := fs.Duration("watchdog-hard", 0, "per-cell hard deadline: cancel the cell past this (0 = off)")
 	addr := fs.String("addr", ":8080", "serve: HTTP listen address")
 	drain := fs.Duration("drain", 30*time.Second, "serve: graceful drain timeout on shutdown")
 	maxJobs := fs.Int("max-jobs", 0, "serve: concurrent running jobs (0 = default)")
@@ -194,6 +213,16 @@ func run(ctx context.Context, args []string) error {
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	// Fault injection arms the process registry before anything opens
+	// the store or simulates, so every fault point in this invocation —
+	// store I/O, engine cells, sampled windows, served jobs — sees the
+	// clauses. Off (zero-cost) when the spec is empty.
+	if *faults != "" {
+		if err := fault.Enable(*faults); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "contopt: fault injection armed: %s\n", *faults)
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -266,6 +295,15 @@ func run(ctx context.Context, args []string) error {
 	// ones.
 	engine := exper.NewRunner(*parallel)
 	engine.SetTraceBudget(int64(*traceCache) << 20)
+	// Resilience diagnostics (store degradation, recovered panics,
+	// watchdog events) go to stderr: rare, and exactly what an operator
+	// needs when a run misbehaves.
+	engine.SetLogf(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if *watchdogSoft > 0 || *watchdogHard > 0 {
+		engine.SetWatchdog(*watchdogSoft, *watchdogHard)
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -516,7 +554,7 @@ func storeCmd(out *os.File, dir string, args []string) error {
 	if dir == "" {
 		return fmt.Errorf("store: no directory; pass -store DIR or set CONTOPT_STORE")
 	}
-	if args[0] != "ls" && len(args) != 1 {
+	if args[0] != "ls" && args[0] != "verify" && len(args) != 1 {
 		return fmt.Errorf("usage: contopt store -store DIR %s", args[0])
 	}
 	st, err := store.Open(dir)
@@ -580,6 +618,11 @@ func storeCmd(out *os.File, dir string, args []string) error {
 			rep.RemovedCorrupt, rep.RemovedTemp, rep.ReclaimedBytes, rep.RemainingIntact)
 		return nil
 	case "verify":
+		vFlags := flag.NewFlagSet("store verify", flag.ContinueOnError)
+		quarantine := vFlags.Bool("quarantine", false, "move proven-corrupt entries aside to DIR/quarantine instead of failing")
+		if err := vFlags.Parse(args[1:]); err != nil {
+			return err
+		}
 		entries, err := st.List()
 		if err != nil {
 			return err
@@ -592,8 +635,21 @@ func storeCmd(out *os.File, dir string, args []string) error {
 			}
 		}
 		fmt.Fprintf(out, "%d entries verified, %d corrupt\n", len(entries)-corrupt, corrupt)
-		if corrupt > 0 {
-			return fmt.Errorf("store: %d corrupt entries (run 'contopt store gc' to remove them)", corrupt)
+		if corrupt == 0 {
+			return nil
+		}
+		if !*quarantine {
+			return fmt.Errorf("store: %d corrupt entries (re-run with -quarantine to move them aside, or 'contopt store gc' to delete them)", corrupt)
+		}
+		moved, err := st.Quarantine()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "quarantined %d proven-corrupt entries to %s\n", moved, filepath.Join(dir, "quarantine"))
+		// Transient read failures are not proven corruption; Quarantine
+		// deliberately leaves them, and verify still fails on them.
+		if moved < corrupt {
+			return fmt.Errorf("store: %d unreadable entries left in place (not proven corrupt; retry verify)", corrupt-moved)
 		}
 		return nil
 	default:
@@ -670,8 +726,9 @@ commands:
   verify      check both machines against the oracle on all benchmarks
   sample-check [bench ...]
               validate the sampled estimator against exact runs
-  store <ls [-plans]|stat|gc|verify>
+  store <ls [-plans]|stat|gc|verify [-quarantine]>
               index, summarize, clean, or integrity-check the -store DIR
+              (verify -quarantine moves proven-corrupt entries aside)
   serve       multi-tenant sweep service over HTTP (SLO classes, SSE,
               cross-client dedup; see -addr, -drain, -max-jobs,
               -tenant-jobs, -queue-depth)
@@ -681,8 +738,16 @@ flags: -scale N, -parallel N, -store DIR, -timeout D, -progress, -v,
        -shard i/n and -merge (sweep), -trace-cache MB, -window-workers N,
        -sample, -sample-period N, -sample-warmup N, -sample-window N,
        -tolerance PCT and -check-ipc (sample-check),
+       -faults SPEC, -watchdog-soft D, -watchdog-hard D,
        -addr, -drain, -max-jobs, -tenant-jobs, -queue-depth (serve),
        -cpuprofile F, -memprofile F (any command)
+
+-faults SPEC (or CONTOPT_FAULTS) arms deterministic fault injection for
+failure rehearsal: clauses like 'store.write:err=ENOSPC:nth=3' or
+'exper.cell:panic:key=mcf' fail named points in the store, engine,
+sampler and server (see internal/fault). The process must survive with
+the damage contained — degraded caching, one failed cell — and reports
+it under -v and /metrics.
 
 -sample applies to run, sweep and every artifact command: simulation
 fast-forwards through the functional emulator and only short periodic

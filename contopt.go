@@ -328,11 +328,12 @@ func RunProgram(ctx context.Context, cfg Config, prog *Program) (*Result, error)
 }
 
 // Run simulates prog on the machine described by cfg, blocking until
-// completion and panicking on an invalid config.
+// completion. An invalid config or failed simulation is reported as an
+// error (earlier releases panicked instead).
 //
 // Deprecated: Run cannot be canceled or observed. Use RunProgram (or
 // NewSession + Session.Run) in new code.
-func Run(cfg Config, prog *Program) *Result {
+func Run(cfg Config, prog *Program) (*Result, error) {
 	return pipeline.Run(cfg, prog)
 }
 

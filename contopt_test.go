@@ -27,8 +27,14 @@ loop:
 	if got := m.Mem.Load64(0x20008); got != 0 {
 		t.Errorf("stored result %d, want 0", got)
 	}
-	base := Run(BaselineConfig(), prog)
-	opt := Run(DefaultConfig(), prog)
+	base, err := Run(BaselineConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if base.Retired != opt.Retired || base.Retired != m.InstCount() {
 		t.Errorf("instruction counts disagree: emu=%d base=%d opt=%d",
 			m.InstCount(), base.Retired, opt.Retired)
@@ -95,7 +101,11 @@ func TestOptimizedMachineNeverChangesResults(t *testing.T) {
 		}
 		prog := b.Program(1)
 		want := Emulate(prog, 0).InstCount()
-		if got := Run(DefaultConfig(), prog).Retired; got != want {
+		res, err := Run(DefaultConfig(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Retired; got != want {
 			t.Errorf("%s: retired %d, oracle %d", name, got, want)
 		}
 	}

@@ -53,8 +53,14 @@ loop:
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := contopt.Run(contopt.BaselineConfig(), prog)
-	opt := contopt.Run(contopt.DefaultConfig(), prog)
+	base, err := contopt.Run(contopt.BaselineConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := contopt.Run(contopt.DefaultConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("retired %d instructions on both machines: %v\n",
 		base.Retired, base.Retired == opt.Retired)
 	// The decrement executes at rename every iteration; its adjacent

@@ -99,8 +99,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		base := contopt.Run(contopt.BaselineConfig(), prog)
-		opt := contopt.Run(contopt.DefaultConfig(), prog)
+		base, err := contopt.Run(contopt.BaselineConfig(), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := contopt.Run(contopt.DefaultConfig(), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-30s %6d -> %6d cycles (speedup %.3f)\n",
 			v.name, base.Cycles, opt.Cycles, opt.SpeedupOver(base))
 		fmt.Printf("  %-30s early %4.1f%%  addr-gen %5.1f%%  loads removed %5.1f%%\n",

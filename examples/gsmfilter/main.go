@@ -27,21 +27,29 @@ func main() {
 		log.Fatal(err)
 	}
 	prog := b.Program(10)
-	base := contopt.Run(contopt.BaselineConfig(), prog)
+	base := mustRun(contopt.BaselineConfig(), prog)
 
 	fmt.Println("untoast / Short_term_synthesis_filtering (two 8-entry arrays):")
-	opt := contopt.Run(contopt.DefaultConfig(), prog)
+	opt := mustRun(contopt.DefaultConfig(), prog)
 	show(base, opt)
 
 	fmt.Println("\nwith a 1-entry MBC (RLE/SF effectively disabled):")
 	crippled := contopt.DefaultConfig()
 	crippled.Opt.MBCEntries = 1
-	show(base, contopt.Run(crippled, prog))
+	show(base, mustRun(crippled, prog))
 
 	fmt.Println("\nvalue feedback alone (no symbolic optimization):")
 	feedback := contopt.DefaultConfig()
 	feedback.Opt.Mode = contopt.ModeFeedbackOnly
-	show(base, contopt.Run(feedback, prog))
+	show(base, mustRun(feedback, prog))
+}
+
+func mustRun(cfg contopt.Config, prog *contopt.Program) *contopt.Result {
+	r, err := contopt.Run(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }
 
 func show(base, opt *contopt.Result) {

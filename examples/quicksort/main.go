@@ -36,15 +36,23 @@ func main() {
 	tiny := contopt.DefaultConfig()
 	tiny.Opt.MBCEntries = 16
 	prog := small.Program(20)
-	base := contopt.Run(contopt.BaselineConfig(), prog)
-	opt := contopt.Run(tiny, prog)
+	base := mustRun(contopt.BaselineConfig(), prog)
+	opt := mustRun(tiny, prog)
 	line(base, opt)
 }
 
 func report(prog *contopt.Program) {
-	base := contopt.Run(contopt.BaselineConfig(), prog)
-	opt := contopt.Run(contopt.DefaultConfig(), prog)
+	base := mustRun(contopt.BaselineConfig(), prog)
+	opt := mustRun(contopt.DefaultConfig(), prog)
 	line(base, opt)
+}
+
+func mustRun(cfg contopt.Config, prog *contopt.Program) *contopt.Result {
+	r, err := contopt.Run(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }
 
 func line(base, opt *contopt.Result) {

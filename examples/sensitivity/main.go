@@ -21,14 +21,14 @@ func main() {
 		log.Fatal(err)
 	}
 	prog := b.Program(40)
-	base := contopt.Run(contopt.BaselineConfig(), prog)
+	base := mustRun(contopt.BaselineConfig(), prog)
 	fmt.Printf("msa baseline: %d cycles\n\n", base.Cycles)
 
 	fmt.Println("optimizer latency (extra rename stages) — Figure 11:")
 	for _, stages := range []uint64{0, 2, 4, 8} {
 		cfg := contopt.DefaultConfig()
 		cfg.OptStages = stages
-		r := contopt.Run(cfg, prog)
+		r := mustRun(cfg, prog)
 		fmt.Printf("  +%d stages: speedup %.3f\n", stages, r.SpeedupOver(base))
 	}
 
@@ -36,7 +36,7 @@ func main() {
 	for _, delay := range []uint64{0, 1, 5, 10, 50} {
 		cfg := contopt.DefaultConfig()
 		cfg.FeedbackDelay = delay
-		r := contopt.Run(cfg, prog)
+		r := mustRun(cfg, prog)
 		fmt.Printf("  %2d cycles: speedup %.3f\n", delay, r.SpeedupOver(base))
 	}
 
@@ -44,7 +44,15 @@ func main() {
 	for _, depth := range []int{0, 1, 3} {
 		cfg := contopt.DefaultConfig()
 		cfg.Opt.DepDepth = depth
-		r := contopt.Run(cfg, prog)
+		r := mustRun(cfg, prog)
 		fmt.Printf("  depth %d: speedup %.3f\n", depth, r.SpeedupOver(base))
 	}
+}
+
+func mustRun(cfg contopt.Config, prog *contopt.Program) *contopt.Result {
+	r, err := contopt.Run(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

@@ -9,8 +9,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/emu"
+	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/store"
@@ -69,6 +71,26 @@ type Runner struct {
 	planBuilds      atomic.Uint64
 	planStoreHits   atomic.Uint64
 	planStoreWrites atomic.Uint64
+
+	// Resilience state (see resilience.go): rmu guards the policy
+	// knobs and the jitter PRNG; the counters and degraded flag are
+	// atomic because they sit on hot paths.
+	rmu           sync.Mutex
+	logFn         func(format string, args ...any)
+	retryAttempts int
+	retryBase     time.Duration
+	probeEvery    time.Duration
+	watchSoft     time.Duration
+	watchHard     time.Duration
+	jrng          uint64
+
+	degraded        atomic.Bool
+	probeAt         atomic.Int64
+	panicsRecovered atomic.Uint64
+	storeDegrades   atomic.Uint64
+	storeRetries    atomic.Uint64
+	watchdogStalls  atomic.Uint64
+	watchdogKills   atomic.Uint64
 }
 
 type simKey struct {
@@ -173,6 +195,10 @@ func NewRunner(parallelism int) *Runner {
 		plans:         map[planKey]*cacheEntry{},
 		traceBudget:   DefaultTraceBudget,
 		progressEvery: DefaultProgressInterval,
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
+		probeEvery:    defaultProbeEvery,
+		jrng:          1,
 	}
 }
 
@@ -187,9 +213,15 @@ func NewRunner(parallelism int) *Runner {
 // including a corrupt entry, is
 // treated as a miss and resimulated, never surfaced. Persistence
 // failures are also non-fatal: the run still succeeds, it just is not
-// durable. Attach the store before launching work; a nil store detaches.
+// durable. Transient I/O errors are retried with bounded backoff, and
+// persistent trouble degrades the engine to memory-only caching with a
+// periodic re-attach probe (see resilience.go). Attach the store before
+// launching work; a nil store detaches.
 func (r *Runner) SetStore(st *store.Store) {
 	r.store.Store(st)
+	// A freshly attached store starts trusted; degraded state described
+	// the previous one.
+	r.degraded.Store(false)
 }
 
 // Stats reports cache effectiveness. Simulations is the number of
@@ -228,6 +260,18 @@ type Stats struct {
 	PlanStoreHits   uint64 `json:"plan_store_hits"`
 	PlanStoreWrites uint64 `json:"plan_store_writes"`
 	TraceBytes      uint64 `json:"trace_bytes"`
+
+	// The resilience counters (see resilience.go): PanicsRecovered is
+	// cells/jobs whose panic was contained; StoreRetries transient store
+	// operations retried; StoreDegraded times the engine fell back to
+	// memory-only caching; WatchdogStalls soft-deadline diagnostics and
+	// WatchdogKills hard-deadline cancellations. All zero on a healthy
+	// run — nonzero values are the failure story of the process.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	StoreRetries    uint64 `json:"store_retries"`
+	StoreDegraded   uint64 `json:"store_degraded"`
+	WatchdogStalls  uint64 `json:"watchdog_stalls"`
+	WatchdogKills   uint64 `json:"watchdog_kills"`
 }
 
 // String renders the snapshot as the two human-readable stat lines the
@@ -236,10 +280,12 @@ type Stats struct {
 // apart field-by-field.
 func (s Stats) String() string {
 	return fmt.Sprintf("engine: %d simulations, %d memory hits, %d store hits\n"+
-		"engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused (%d store hits, %d store writes); %.1f MiB resident",
+		"engine: decode-once: %d traces recorded, %d replayed; %d plans built, %d reused (%d store hits, %d store writes); %.1f MiB resident\n"+
+		"engine: resilience: %d panics recovered, %d store retries, %d store degradations, %d watchdog stalls, %d watchdog kills",
 		s.Simulations, s.MemHits, s.StoreHits,
 		s.TraceRecords, s.TraceHits, s.PlanBuilds, s.PlanHits,
-		s.PlanStoreHits, s.PlanStoreWrites, float64(s.TraceBytes)/(1<<20))
+		s.PlanStoreHits, s.PlanStoreWrites, float64(s.TraceBytes)/(1<<20),
+		s.PanicsRecovered, s.StoreRetries, s.StoreDegraded, s.WatchdogStalls, s.WatchdogKills)
 }
 
 // Stats returns a snapshot of the runner's counters.
@@ -261,6 +307,11 @@ func (r *Runner) Stats() Stats {
 		PlanStoreHits:   r.planStoreHits.Load(),
 		PlanStoreWrites: r.planStoreWrites.Load(),
 		TraceBytes:      uint64(resident),
+		PanicsRecovered: r.panicsRecovered.Load(),
+		StoreRetries:    r.storeRetries.Load(),
+		StoreDegraded:   r.storeDegrades.Load(),
+		WatchdogStalls:  r.watchdogStalls.Load(),
+		WatchdogKills:   r.watchdogKills.Load(),
 	}
 }
 
@@ -368,15 +419,12 @@ func (r *Runner) workloadKey(bench *workloads.Benchmark, scale int) string {
 	return w
 }
 
-// storeGet consults the persistent store (when attached) for key k,
-// decoding into out. Any failure — no store, entry missing, entry
-// corrupt — reads as a miss; a hit bumps the StoreHits counter.
-func (r *Runner) storeGet(k store.Key, out any) bool {
-	st := r.store.Load()
-	if st == nil {
-		return false
-	}
-	if err := st.Get(k, out); err != nil {
+// storeGet consults the persistent store (when attached and not
+// degraded) for key k, decoding into out. Any failure — no store,
+// entry missing, entry corrupt, retries exhausted — reads as a miss;
+// a hit bumps the StoreHits counter.
+func (r *Runner) storeGet(ctx context.Context, k store.Key, out any) bool {
+	if !r.storeRead(ctx, k, out) {
 		return false
 	}
 	r.storeHits.Add(1)
@@ -385,12 +433,11 @@ func (r *Runner) storeGet(k store.Key, out any) bool {
 
 // storePut persists a freshly computed value best-effort: a store that
 // cannot be written (disk full, permissions) costs durability, not
-// correctness, so errors are deliberately dropped. A zero key (no
-// store was attached when the leader started) is a no-op.
-func (r *Runner) storePut(k store.Key, v any) {
-	if st := r.store.Load(); st != nil && k.Kind != "" {
-		_ = st.Put(k, v)
-	}
+// correctness, so failures degrade the store (after retries) without
+// failing the run. A zero key (no store was attached when the leader
+// started) is a no-op.
+func (r *Runner) storePut(ctx context.Context, k store.Key, v any) {
+	r.storeWrite(ctx, k, v)
 }
 
 // Run simulates bench at scale under cfg, returning the memoized result
@@ -412,12 +459,12 @@ func (r *Runner) Run(ctx context.Context, cfg pipeline.Config, bench *workloads.
 	scale = effectiveScale(bench, scale)
 	k := simKey{cfg: cfg.Key(), bench: bench.Name, scale: scale}
 
-	res, leader, err := singleflight(ctx, &r.mu, r.sims, k, func(ctx context.Context) (*pipeline.Result, error) {
+	res, leader, err := singleflight(ctx, &r.mu, r.sims, k, protect(r, "cell "+k.bench+"/"+cfg.Name, func(ctx context.Context) (*pipeline.Result, error) {
 		var sk store.Key
 		if r.store.Load() != nil {
 			sk = store.ExactKey(k.cfg, k.bench, k.scale, r.workloadKey(bench, scale))
 			var cached pipeline.Result
-			if r.storeGet(sk, &cached) {
+			if r.storeGet(ctx, sk, &cached) {
 				return &cached, nil
 			}
 		}
@@ -425,9 +472,9 @@ func (r *Runner) Run(ctx context.Context, cfg pipeline.Config, bench *workloads.
 		if err != nil {
 			return nil, err
 		}
-		r.storePut(sk, res)
+		r.storePut(ctx, sk, res)
 		return res, nil
-	})
+	}))
 	if err == nil && !leader {
 		r.memHits.Add(1)
 	}
@@ -448,10 +495,16 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workl
 	}
 	defer func() { <-r.sem }()
 	r.runs.Add(1)
+	op := "cell " + bench.Name + "/" + cfg.Name
+	wctx, stop := r.watchCell(ctx, op)
+	defer stop()
+	if err := fault.InjectCtx(wctx, "exper.cell", bench.Name+"/"+cfg.Name); err != nil {
+		return nil, watchdogErr(wctx, err)
+	}
 	prog := bench.Program(scale)
-	tr, err := r.traceFor(ctx, bench, scale)
+	tr, err := r.traceFor(wctx, bench, scale)
 	if err != nil {
-		return nil, err
+		return nil, watchdogErr(wctx, err)
 	}
 	var s *pipeline.Session
 	if tr != nil {
@@ -462,9 +515,9 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, bench *workl
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run(ctx, r.runOpts(&cfg, bench, scale))
+	res, err := s.Run(wctx, r.runOpts(&cfg, bench, scale))
 	if err != nil {
-		return nil, err
+		return nil, watchdogErr(wctx, err)
 	}
 	res.Scale = scale
 	return res, nil
@@ -490,12 +543,12 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 	scale = effectiveScale(bench, scale)
 	k := sampleKey{cfg: cfg.Key(), bench: bench.Name, scale: scale, sampling: sc.Key()}
 
-	res, leader, err := singleflight(ctx, &r.pmu, r.sampled, k, func(ctx context.Context) (*sample.Result, error) {
+	res, leader, err := singleflight(ctx, &r.pmu, r.sampled, k, protect(r, "sampled cell "+k.bench+"/"+cfg.Name, func(ctx context.Context) (*sample.Result, error) {
 		var sk store.Key
 		if r.store.Load() != nil {
 			sk = store.SampledKey(k.cfg, k.bench, k.scale, k.sampling, r.workloadKey(bench, scale))
 			var cached sample.Result
-			if r.storeGet(sk, &cached) {
+			if r.storeGet(ctx, sk, &cached) {
 				return &cached, nil
 			}
 		}
@@ -514,26 +567,31 @@ func (r *Runner) RunSampled(ctx context.Context, cfg pipeline.Config, bench *wor
 		}
 		defer func() { <-r.sem }()
 		r.runs.Add(1)
+		wctx, stop := r.watchCell(ctx, "sampled cell "+bench.Name+"/"+cfg.Name)
+		defer stop()
+		if err := fault.InjectCtx(wctx, "exper.cell", bench.Name+"/"+cfg.Name); err != nil {
+			return nil, watchdogErr(wctx, err)
+		}
 		// The window plan (fast-forward + per-window checkpoints) is
 		// config-independent: build it once per (benchmark, scale,
 		// regime) and share it across every configuration of a sweep.
-		plan, err := r.planFor(ctx, bench, scale, sc, total)
+		plan, err := r.planFor(wctx, bench, scale, sc, total)
 		if err != nil {
-			return nil, err
+			return nil, watchdogErr(wctx, err)
 		}
 		var sr *sample.Result
 		if plan != nil {
-			sr, err = sample.RunPlanned(ctx, cfg, bench.Program(scale), sc, plan)
+			sr, err = sample.RunPlanned(wctx, cfg, bench.Program(scale), sc, plan)
 		} else {
-			sr, err = sample.RunTotal(ctx, cfg, bench.Program(scale), sc, total)
+			sr, err = sample.RunTotal(wctx, cfg, bench.Program(scale), sc, total)
 		}
 		if err != nil {
-			return nil, err
+			return nil, watchdogErr(wctx, err)
 		}
 		sr.Scale = scale
-		r.storePut(sk, sr)
+		r.storePut(ctx, sk, sr)
 		return sr, nil
-	})
+	}))
 	if err == nil && !leader {
 		r.memHits.Add(1)
 	}
@@ -550,12 +608,12 @@ func (r *Runner) InstCount(ctx context.Context, bench *workloads.Benchmark, scal
 	scale = effectiveScale(bench, scale)
 	k := countKey{bench: bench.Name, scale: scale}
 
-	n, _, err := singleflight(ctx, &r.cmu, r.counts, k, func(ctx context.Context) (uint64, error) {
+	n, _, err := singleflight(ctx, &r.cmu, r.counts, k, protect(r, "count "+k.bench, func(ctx context.Context) (uint64, error) {
 		var sk store.Key
 		if r.store.Load() != nil {
 			sk = store.CountKey(k.bench, k.scale, r.workloadKey(bench, scale))
 			var cached store.Count
-			if r.storeGet(sk, &cached) {
+			if r.storeGet(ctx, sk, &cached) {
 				return cached.Insts, nil
 			}
 		}
@@ -563,9 +621,9 @@ func (r *Runner) InstCount(ctx context.Context, bench *workloads.Benchmark, scal
 		if err != nil {
 			return 0, err
 		}
-		r.storePut(sk, &store.Count{Insts: n})
+		r.storePut(ctx, sk, &store.Count{Insts: n})
 		return n, nil
-	})
+	}))
 	return n, err
 }
 

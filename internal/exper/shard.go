@@ -184,13 +184,13 @@ func (r *Runner) SweepMerge(spec *SweepSpec, sc *sample.Config) (*SweepResult, [
 			ck := cfgs[ci].Normalize().Key()
 			if sc != nil {
 				var sr sample.Result
-				if r.storeGet(store.SampledKey(ck, b.Name, scale, scKey, w), &sr) {
+				if r.storeGet(context.Background(), store.SampledKey(ck, b.Name, scale, scKey, w), &sr) {
 					cells[bi][ci] = sr.Estimate()
 					continue
 				}
 			} else {
 				var res pipeline.Result
-				if r.storeGet(store.ExactKey(ck, b.Name, scale, w), &res) {
+				if r.storeGet(context.Background(), store.ExactKey(ck, b.Name, scale, w), &res) {
 					cells[bi][ci] = &res
 					continue
 				}

@@ -27,6 +27,7 @@ import (
 	"context"
 
 	"repro/internal/emu"
+	"repro/internal/fault"
 	"repro/internal/sample"
 	"repro/internal/store"
 	"repro/internal/workloads"
@@ -168,7 +169,7 @@ func (r *Runner) traceFor(ctx context.Context, bench *workloads.Benchmark, scale
 
 		if !ok {
 			maxInsts := uint64(budget) / emu.DynInstBytes
-			tr, err := emu.Record(ctx, bench.Program(scale), maxInsts)
+			tr, err := recordSafe(ctx, bench, scale, maxInsts)
 			switch {
 			case err != nil && ctxErr(err):
 				r.tmu.Lock()
@@ -176,6 +177,14 @@ func (r *Runner) traceFor(ctx context.Context, bench *workloads.Benchmark, scale
 					delete(r.traces, k)
 				}
 				r.tmu.Unlock()
+				e.err = err
+				close(e.done)
+				return nil, err
+			case err != nil && fault.AsPanic(err) != nil:
+				// A panicking recorder is a broken workload, not an
+				// over-budget one: memoize the failure (waiters and
+				// retries fail fast) instead of negative-caching it as
+				// "simulate live", which would re-panic per config.
 				e.err = err
 				close(e.done)
 				return nil, err
@@ -258,10 +267,10 @@ func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale 
 
 		if !ok {
 			var sk store.Key
-			if st := r.store.Load(); st != nil {
+			if r.store.Load() != nil {
 				sk = store.PlanKey(k.bench, k.scale, k.sampling, r.workloadKey(bench, scale))
 				var cached sample.Plan
-				if st.Get(sk, &cached) == nil {
+				if r.storeRead(ctx, sk, &cached) {
 					r.planStoreHits.Add(1)
 					r.tmu.Lock()
 					e.plan = &cached
@@ -271,7 +280,7 @@ func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale 
 					return &cached, nil
 				}
 			}
-			plan, err := sample.BuildPlan(ctx, bench.Program(scale), sc, totalInsts)
+			plan, err := buildPlanSafe(ctx, bench, scale, sc, totalInsts)
 			if err != nil {
 				if ctxErr(err) {
 					r.tmu.Lock()
@@ -285,10 +294,8 @@ func (r *Runner) planFor(ctx context.Context, bench *workloads.Benchmark, scale 
 				return nil, err
 			}
 			r.planBuilds.Add(1)
-			if sk.Kind != "" {
-				if st := r.store.Load(); st != nil && st.Put(sk, plan) == nil {
-					r.planStoreWrites.Add(1)
-				}
+			if r.storeWrite(ctx, sk, plan) {
+				r.planStoreWrites.Add(1)
 			}
 			r.tmu.Lock()
 			e.plan = plan
@@ -331,6 +338,21 @@ func (r *Runner) seedCount(bench *workloads.Benchmark, scale int, n uint64) {
 	}
 	r.cmu.Unlock()
 	if !ok && r.store.Load() != nil {
-		r.storePut(store.CountKey(k.bench, k.scale, r.workloadKey(bench, scale)), &store.Count{Insts: n})
+		r.storePut(context.Background(), store.CountKey(k.bench, k.scale, r.workloadKey(bench, scale)), &store.Count{Insts: n})
 	}
+}
+
+// recordSafe is emu.Record behind a panic-containment boundary: a
+// recorder that panics (a broken generated workload, an injected
+// fault) yields a *PanicError for this workload's cells instead of
+// killing the process with trace-cache waiters wedged on done.
+func recordSafe(ctx context.Context, bench *workloads.Benchmark, scale int, maxInsts uint64) (tr *emu.Trace, err error) {
+	defer fault.CatchPanic(&err, "trace "+bench.Name)
+	return emu.Record(ctx, bench.Program(scale), maxInsts)
+}
+
+// buildPlanSafe is sample.BuildPlan behind the same boundary.
+func buildPlanSafe(ctx context.Context, bench *workloads.Benchmark, scale int, sc sample.Config, totalInsts uint64) (plan *sample.Plan, err error) {
+	defer fault.CatchPanic(&err, "plan "+bench.Name)
+	return sample.BuildPlan(ctx, bench.Program(scale), sc, totalInsts)
 }

@@ -1,0 +1,30 @@
+// Package fault is a seeded, deterministic fault-injection registry:
+// the substrate the chaos battery uses to prove the service's failure
+// containment, and the seam operators use to rehearse failures in a
+// running process.
+//
+// Code under test declares named fault points — Inject("store.write",
+// path) before a filesystem write, InjectCtx(ctx, "sample.window", id)
+// inside a worker loop — and ships them compiled in: a disarmed point
+// costs one atomic load, no allocation, no lock. Tests (or an operator,
+// via the CONTOPT_FAULTS environment variable or the -faults CLI flag)
+// arm points with a clause spec such as
+//
+//	store.write:err=ENOSPC:nth=3;exper.cell:panic:key=mcf
+//
+// and the armed points then fail deterministically: on the nth matching
+// call, on every kth call, or with a seeded probability — never wall
+// clock, never math/rand global state — so a chaos run replays exactly.
+//
+// Three action kinds cover the failure modes the stack contains:
+// injected errors (err=ENOSPC and friends, classified by
+// store.Classify like the real thing), injected panics (recovered into
+// *PanicError by the containment layers), and hangs (hang=30s blocks in
+// InjectCtx until the duration elapses or the context dies — what a
+// watchdog exists to catch).
+//
+// The package also owns the one panic-containment helper every layer
+// shares: defer CatchPanic(&err, op) converts a panic into a
+// *PanicError carrying the goroutine stack, so a broken cell or window
+// fails alone instead of killing the process.
+package fault

@@ -1,0 +1,403 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the base error of every injected failure; clauses
+// without an err= option inject it directly, and named errnos wrap it
+// conceptually via *Error (use IsInjected to recognize either).
+var ErrInjected = errors.New("fault: injected")
+
+// Error is what an armed err-action point returns: the point and call
+// key that fired, wrapping the configured error (a syscall errno such
+// as ENOSPC, or ErrInjected). It unwraps to the underlying error so
+// classification — e.g. store.Classify — treats an injected ENOSPC
+// exactly like a real one.
+type Error struct {
+	Point string
+	Key   string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	if e.Key == "" {
+		return fmt.Sprintf("fault: %s: injected: %v", e.Point, e.Err)
+	}
+	return fmt.Sprintf("fault: %s (%s): injected: %v", e.Point, e.Key, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsInjected reports whether err came out of a fault point (err- or
+// hang-action; recovered injected panics are *PanicError instead).
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// action kinds a clause can take when it fires.
+type action int
+
+const (
+	actErr   action = iota // return an error
+	actPanic               // panic at the point
+	actHang                // block for a duration (or until ctx dies)
+)
+
+// clause is one armed fault: a point name, a trigger, and an action.
+// Trigger state (call counts, the seeded PRNG) is guarded by mu; a
+// clause fires deterministically given its spec and the sequence of
+// matching calls — wall clock and global rand are never consulted.
+type clause struct {
+	point string
+	act   action
+	err   error
+	hang  time.Duration
+
+	key   string  // substring filter on the call key ("" matches all)
+	nth   uint64  // fire on exactly the nth matching call (1-based)
+	every uint64  // fire on every kth matching call
+	p     float64 // fire with this seeded probability
+	times uint64  // stop after this many fires (0 = unlimited)
+
+	mu    sync.Mutex
+	calls uint64
+	fired uint64
+	rng   uint64 // splitmix64 state, advanced per probabilistic call
+}
+
+// splitmix64 is the clause PRNG: tiny, seedable, and stable across Go
+// releases (math/rand's stream is not part of its compatibility
+// promise).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// hit decides whether this call fires the clause.
+func (c *clause) hit(key string) bool {
+	if c.key != "" && !strings.Contains(key, c.key) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.times > 0 && c.fired >= c.times {
+		return false
+	}
+	fire := true
+	switch {
+	case c.nth > 0:
+		fire = c.calls == c.nth
+	case c.every > 0:
+		fire = c.calls%c.every == 0
+	case c.p > 0:
+		fire = float64(splitmix64(&c.rng)>>11)/(1<<53) < c.p
+	}
+	if fire {
+		c.fired++
+	}
+	return fire
+}
+
+// errnos names the injectable errors. They are real syscall errnos, so
+// error classification downstream cannot tell an injected ENOSPC from
+// the disk actually filling up — which is the point.
+var errnos = map[string]error{
+	"EIO":       syscall.EIO,
+	"ENOSPC":    syscall.ENOSPC,
+	"EMFILE":    syscall.EMFILE,
+	"ENFILE":    syscall.ENFILE,
+	"EAGAIN":    syscall.EAGAIN,
+	"EINTR":     syscall.EINTR,
+	"EBUSY":     syscall.EBUSY,
+	"ENOMEM":    syscall.ENOMEM,
+	"ETIMEDOUT": syscall.ETIMEDOUT,
+	"EPERM":     syscall.EPERM,
+	"EACCES":    syscall.EACCES,
+	"EROFS":     syscall.EROFS,
+	"ENOENT":    syscall.ENOENT,
+}
+
+// Registry holds armed clauses, indexed by point name. The zero value
+// is unusable; call NewRegistry. Most callers use the package-level
+// process registry (Enable / Inject / Reset) — per-Registry use exists
+// for tests that must not share global state.
+type Registry struct {
+	mu      sync.RWMutex
+	clauses map[string][]*clause
+	armed   atomic.Int32
+}
+
+// NewRegistry builds an empty (fully disarmed) registry.
+func NewRegistry() *Registry {
+	return &Registry{clauses: map[string][]*clause{}}
+}
+
+// Enable parses spec and arms its clauses, additively: clauses from
+// earlier Enable calls stay armed until Reset. The grammar is
+//
+//	spec    := clause { (";" | ",") clause }
+//	clause  := point { ":" opt }
+//	opt     := "err=" NAME          inject this error (default ErrInjected)
+//	         | "panic"              panic at the point
+//	         | "hang=" DURATION     block (InjectCtx honors cancellation)
+//	         | "nth=" N             fire on exactly the Nth matching call
+//	         | "every=" K           fire on every Kth matching call
+//	         | "p=" F               fire with seeded probability F (0..1]
+//	         | "seed=" S            PRNG seed for p= (default 1)
+//	         | "times=" K           stop after K fires (default unlimited)
+//	         | "key=" SUBSTR        only calls whose key contains SUBSTR
+//
+// With no trigger option a clause fires on every matching call. err
+// names are syscall errnos (ENOSPC, EIO, EMFILE, ...); at most one of
+// err/panic/hang and one of nth/every/p per clause.
+func (r *Registry) Enable(spec string) error {
+	cs, err := parse(spec)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		r.clauses[c.point] = append(r.clauses[c.point], c)
+		r.armed.Add(1)
+	}
+	return nil
+}
+
+// Reset disarms everything, restoring the zero-cost disabled state.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clauses = map[string][]*clause{}
+	r.armed.Store(0)
+}
+
+// Active reports whether any clause is armed.
+func (r *Registry) Active() bool { return r.armed.Load() > 0 }
+
+// Inject evaluates the fault point name for a call identified by key
+// (e.g. a file path, a "bench/config" cell id — whatever the point's
+// key= filters should match against). It returns nil when the point
+// must proceed normally and the injected error when an err-action
+// clause fires; a panic-action clause panics here. Hang-action clauses
+// block for their duration (use InjectCtx where cancellation must cut
+// a hang short). Disarmed registries return nil after one atomic load.
+func (r *Registry) Inject(point, key string) error {
+	if r.armed.Load() == 0 {
+		return nil
+	}
+	return r.inject(context.Background(), point, key)
+}
+
+// InjectCtx is Inject for context-aware call sites: a hang-action
+// clause blocks until its duration elapses or ctx is done, returning
+// ctx.Err() in the latter case — exactly how a wedged worker surfaces
+// once a watchdog cancels it.
+func (r *Registry) InjectCtx(ctx context.Context, point, key string) error {
+	if r.armed.Load() == 0 {
+		return nil
+	}
+	return r.inject(ctx, point, key)
+}
+
+func (r *Registry) inject(ctx context.Context, point, key string) error {
+	r.mu.RLock()
+	cs := r.clauses[point]
+	r.mu.RUnlock()
+	for _, c := range cs {
+		if !c.hit(key) {
+			continue
+		}
+		switch c.act {
+		case actPanic:
+			panic(fmt.Sprintf("fault: injected panic at %s (%s)", point, key))
+		case actHang:
+			t := time.NewTimer(c.hang)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		default:
+			return &Error{Point: point, Key: key, Err: c.err}
+		}
+	}
+	return nil
+}
+
+// Fires returns how many times the point's clauses have fired in
+// total — what chaos tests assert against.
+func (r *Registry) Fires(point string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n uint64
+	for _, c := range r.clauses[point] {
+		c.mu.Lock()
+		n += c.fired
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// parse turns a spec string into clauses (see Enable for the grammar).
+func parse(spec string) ([]*clause, error) {
+	var out []*clause
+	for _, raw := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		c := &clause{point: parts[0], err: ErrInjected, rng: 1}
+		if c.point == "" {
+			return nil, fmt.Errorf("fault: clause %q has no point name", raw)
+		}
+		actions, triggers := 0, 0
+		for _, opt := range parts[1:] {
+			k, v, _ := strings.Cut(opt, "=")
+			var err error
+			switch k {
+			case "err":
+				e, ok := errnos[v]
+				if !ok {
+					return nil, fmt.Errorf("fault: clause %q: unknown error name %q", raw, v)
+				}
+				c.act, c.err = actErr, e
+				actions++
+			case "panic":
+				c.act = actPanic
+				actions++
+			case "hang":
+				c.act = actHang
+				c.hang, err = time.ParseDuration(v)
+				actions++
+			case "nth":
+				c.nth, err = strconv.ParseUint(v, 10, 64)
+				triggers++
+			case "every":
+				c.every, err = strconv.ParseUint(v, 10, 64)
+				triggers++
+			case "p":
+				c.p, err = strconv.ParseFloat(v, 64)
+				if err == nil && (c.p <= 0 || c.p > 1) {
+					err = fmt.Errorf("probability %v outside (0, 1]", c.p)
+				}
+				triggers++
+			case "seed":
+				c.rng, err = strconv.ParseUint(v, 10, 64)
+			case "times":
+				c.times, err = strconv.ParseUint(v, 10, 64)
+			case "key":
+				c.key = v
+			default:
+				return nil, fmt.Errorf("fault: clause %q: unknown option %q", raw, opt)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: option %q: %v", raw, opt, err)
+			}
+		}
+		if actions > 1 {
+			return nil, fmt.Errorf("fault: clause %q: pick one of err=, panic, hang=", raw)
+		}
+		if triggers > 1 {
+			return nil, fmt.Errorf("fault: clause %q: pick one of nth=, every=, p=", raw)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: spec %q has no clauses", spec)
+	}
+	return out, nil
+}
+
+// std is the process registry behind the package-level functions — the
+// one CONTOPT_FAULTS and the -faults flag arm.
+var std = NewRegistry()
+
+// Enable arms spec's clauses on the process registry (see
+// Registry.Enable for the grammar).
+func Enable(spec string) error { return std.Enable(spec) }
+
+// Reset disarms the process registry.
+func Reset() { std.Reset() }
+
+// Active reports whether any process-registry clause is armed.
+func Active() bool { return std.Active() }
+
+// Inject evaluates a fault point on the process registry (see
+// Registry.Inject).
+func Inject(point, key string) error { return std.Inject(point, key) }
+
+// InjectCtx evaluates a fault point with cancellation-aware hangs (see
+// Registry.InjectCtx).
+func InjectCtx(ctx context.Context, point, key string) error { return std.InjectCtx(ctx, point, key) }
+
+// Fires returns the process registry's fire count for a point.
+func Fires(point string) uint64 { return std.Fires(point) }
+
+// PanicError is a panic converted to an error at a containment
+// boundary: the operation that panicked, the recovered value, and the
+// goroutine stack at the panic. Layers that must survive a broken cell,
+// window or job recover into it with CatchPanic; errors.As (or AsPanic)
+// recognizes it anywhere in a wrapped chain.
+type PanicError struct {
+	// Op names the contained operation ("cell mcf/optimized",
+	// "sample: window 3 of vpr", "serve: job j000002").
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Op, e.Value)
+}
+
+// CatchPanic converts an in-flight panic into a *PanicError assigned to
+// *errp. It must be deferred directly:
+//
+//	defer fault.CatchPanic(&err, "cell mcf/optimized")
+//
+// A re-thrown *PanicError keeps its original Op and stack — containment
+// boundaries compose without re-wrapping. When no panic is in flight,
+// CatchPanic does nothing.
+func CatchPanic(errp *error, op string) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	if pe, ok := v.(*PanicError); ok {
+		*errp = pe
+		return
+	}
+	*errp = &PanicError{Op: op, Value: v, Stack: string(debug.Stack())}
+}
+
+// AsPanic returns the *PanicError in err's chain, or nil.
+func AsPanic(err error) *PanicError {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	r := NewRegistry()
+	if r.Active() {
+		t.Fatal("fresh registry reports active")
+	}
+	for i := 0; i < 100; i++ {
+		if err := r.Inject("store.write", "k"); err != nil {
+			t.Fatalf("disarmed inject returned %v", err)
+		}
+	}
+}
+
+func TestNthTrigger(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("store.write:err=ENOSPC:nth=3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := r.Inject("store.write", "k")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("call %d: err=%v, want fire only on 3rd", i, err)
+		}
+		if i == 3 {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("injected error %v does not unwrap to ENOSPC", err)
+			}
+			if !IsInjected(err) {
+				t.Fatalf("IsInjected(%v) = false", err)
+			}
+		}
+	}
+	if got := r.Fires("store.write"); got != 1 {
+		t.Fatalf("Fires = %d, want 1", got)
+	}
+}
+
+func TestEveryTrigger(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("p:err=EIO:every=2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 1; i <= 10; i++ {
+		if r.Inject("p", "") != nil {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("every=2 fired %d/10 times, want 5", fired)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		r := NewRegistry()
+		if err := r.Enable("p:err=EIO:p=0.3:seed=42"); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, r.Inject("p", "") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs between identically-seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// p=0.3 over 200 calls: deterministic, but sanity-check the rate is
+	// in the right ballpark rather than always/never.
+	if fired < 30 || fired > 90 {
+		t.Fatalf("p=0.3 fired %d/200 times", fired)
+	}
+
+	r := NewRegistry()
+	if err := r.Enable("p:err=EIO:p=0.3:seed=43"); err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := 0; i < 200; i++ {
+		if (r.Inject("p", "") != nil) != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seed=43 produced the same sequence as seed=42")
+	}
+}
+
+func TestKeyFilterAndTimes(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("exper.cell:err=EIO:key=mcf:times=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Inject("exper.cell", "vpr/base"); err != nil {
+		t.Fatalf("non-matching key fired: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if r.Inject("exper.cell", "mcf/base") == nil {
+			t.Fatalf("matching call %d did not fire", i+1)
+		}
+	}
+	if err := r.Inject("exper.cell", "mcf/base"); err != nil {
+		t.Fatalf("times=2 exceeded: %v", err)
+	}
+}
+
+func TestMultipleClauses(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("a:err=EIO:nth=1; b:err=ENOSPC:nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Inject("a", ""); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("point a: %v", err)
+	}
+	if err := r.Inject("b", ""); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("point b: %v", err)
+	}
+	r.Reset()
+	if r.Active() {
+		t.Fatal("active after Reset")
+	}
+	if err := r.Inject("a", ""); err != nil {
+		t.Fatalf("fired after Reset: %v", err)
+	}
+}
+
+func TestDefaultErrIsErrInjected(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Inject("a", ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default action error = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("exper.cell:panic"); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	func() {
+		defer CatchPanic(&err, "cell mcf/base")
+		if e := r.Inject("exper.cell", "mcf/base"); e != nil {
+			t.Fatalf("panic clause returned error %v", e)
+		}
+		t.Fatal("unreachable: panic clause did not panic")
+	}()
+	pe := AsPanic(err)
+	if pe == nil {
+		t.Fatalf("recovered error %v is not a PanicError", err)
+	}
+	if pe.Op != "cell mcf/base" {
+		t.Fatalf("Op = %q", pe.Op)
+	}
+	if !strings.Contains(pe.Stack, "fault") {
+		t.Fatalf("stack missing frames: %q", pe.Stack)
+	}
+}
+
+func TestCatchPanicPreservesOrigin(t *testing.T) {
+	inner := func() (err error) {
+		defer CatchPanic(&err, "inner op")
+		panic("boom")
+	}
+	var err error
+	func() {
+		defer CatchPanic(&err, "outer op")
+		e := inner()
+		// Simulate an outer boundary re-panicking the contained error.
+		panic(AsPanic(e))
+	}()
+	pe := AsPanic(err)
+	if pe == nil || pe.Op != "inner op" {
+		t.Fatalf("origin lost: %+v", pe)
+	}
+}
+
+func TestHangHonorsContext(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Enable("sample.window:hang=1h"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.InjectCtx(ctx, "sample.window", "w0") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hang returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang ignored context cancellation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		";;",
+		":err=EIO",
+		"a:err=EWHAT",
+		"a:nope",
+		"a:err=EIO:panic",
+		"a:nth=1:every=2",
+		"a:p=1.5",
+		"a:p=0",
+		"a:hang=forever",
+		"a:nth=x",
+	}
+	for _, spec := range bad {
+		if _, err := parse(spec); err == nil {
+			t.Errorf("parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestProcessRegistry(t *testing.T) {
+	defer Reset()
+	if err := Enable("proc.test:err=EIO:nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	if !Active() {
+		t.Fatal("not active after Enable")
+	}
+	if err := Inject("proc.test", ""); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("process inject: %v", err)
+	}
+	if got := Fires("proc.test"); got != 1 {
+		t.Fatalf("Fires = %d", got)
+	}
+	if err := InjectCtx(context.Background(), "proc.test", ""); err != nil {
+		t.Fatalf("nth=1 fired twice: %v", err)
+	}
+}

@@ -186,19 +186,15 @@ func (r *Result) String() string {
 }
 
 // Run builds a session and runs prog under cfg to completion,
-// panicking on an invalid config or a wedged simulation.
+// reporting an invalid config or a failed simulation as an error.
 //
 // Deprecated: Run is the pre-session API, kept for callers that need
 // neither cancellation nor telemetry. New code should use New and
-// Session.Run, which report errors and take a context.
-func Run(cfg Config, prog *emu.Program) *Result {
+// Session.Run, which also take a context.
+func Run(cfg Config, prog *emu.Program) (*Result, error) {
 	s, err := New(cfg, prog)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	res, err := s.Run(context.Background(), RunOpts{})
-	if err != nil {
-		panic(err)
-	}
-	return res
+	return s.Run(context.Background(), RunOpts{})
 }

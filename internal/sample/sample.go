@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 )
@@ -594,6 +595,20 @@ func runWindow(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc C
 	return w, ok, nil
 }
 
+// runWindowSafe is runWindow behind a containment boundary: a worker
+// that panics (or hits the sample.window fault point) fails its window
+// — and through the earliest-error rule, the run — without taking the
+// process or its sibling workers down. idx names the window in the
+// schedule; the fault key "program#idx" lets clauses target one window
+// of one workload.
+func runWindowSafe(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc Config, pw PlanWindow, idx int) (w Window, ok bool, err error) {
+	defer fault.CatchPanic(&err, fmt.Sprintf("sample: window %d of %s", idx, prog.Name))
+	if err := fault.InjectCtx(ctx, "sample.window", fmt.Sprintf("%s#%d", prog.Name, idx)); err != nil {
+		return Window{}, false, err
+	}
+	return runWindow(ctx, cfg, prog, sc, pw)
+}
+
 // RunPlanned executes plan's detailed windows under cfg and returns
 // the whole-run estimate. Windows are independent (each owns its
 // checkpoint and warms its own structures), so they are dispatched to
@@ -656,7 +671,7 @@ func RunPlanned(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc 
 	}
 	if workers <= 1 {
 		for i, pw := range plan.Windows {
-			w, ok, err := runWindow(ctx, cfg, prog, sc, pw)
+			w, ok, err := runWindowSafe(ctx, cfg, prog, sc, pw, i)
 			if err != nil {
 				return nil, err
 			}
@@ -681,7 +696,7 @@ func RunPlanned(ctx context.Context, cfg pipeline.Config, prog *emu.Program, sc 
 					if i >= int64(len(plan.Windows)) {
 						return
 					}
-					w, ok, err := runWindow(wctx, cfg, prog, sc, plan.Windows[i])
+					w, ok, err := runWindowSafe(wctx, cfg, prog, sc, plan.Windows[i], int(i))
 					if err != nil {
 						// Keep the earliest-indexed error so the
 						// reported failure does not depend on worker

@@ -1,0 +1,186 @@
+package serve
+
+// The serve half of the chaos battery (ISSUE 10): injected failures in
+// one tenant's job must cost exactly that job. The service keeps
+// answering, neighbor tenants' results stay byte-identical to a clean
+// run, and /metrics tells the failure story. These tests arm the
+// process fault registry and so never call t.Parallel.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+const healthyBody = `{
+	"tenant": "good",
+	"slo": "critical",
+	"spec": {
+		"title": "healthy sweep",
+		"benchmarks": ["mcf", "untst"],
+		"scale": 1,
+		"per_benchmark": true,
+		"variants": [{"label": "opt"}]
+	}
+}`
+
+// chaosBody sweeps a generated scenario whose cell the fault registry
+// panics; the scenario name ("svboom") keys the clause so nothing else
+// in the process is touched.
+const chaosBody = `{
+	"tenant": "boom",
+	"slo": "batch",
+	"spec": {
+		"title": "chaos sweep",
+		"scale": 1,
+		"per_benchmark": true,
+		"scenarios": {
+			"seed": 7,
+			"scenarios": [{"family": "stream", "name": "svboom", "params": {"elems": 128}}]
+		},
+		"variants": [{"label": "opt"}]
+	}
+}`
+
+// waitFailed polls a job until it fails, returning the terminal view.
+func waitFailed(t *testing.T, url, id string) JobView {
+	t.Helper()
+	v := waitState(t, url, id, StateFailed)
+	return v
+}
+
+// TestChaosPanickingScenarioIsolatesTenant: a served sweep over a
+// generated scenario whose cell panics fails alone — the healthy
+// tenant's concurrent sweep completes byte-identical to a clean-server
+// run, the process survives, and /metrics counts the recovered panic.
+func TestChaosPanickingScenarioIsolatesTenant(t *testing.T) {
+	// Clean reference run on its own server and engine.
+	_, clean, _ := newTestServer(t, 2, Config{})
+	v, status, _ := submit(t, clean.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("clean submit status = %d", status)
+	}
+	want := waitState(t, clean.URL, v.ID, StateDone)
+	if want.Result == nil || want.Result.Table == "" {
+		t.Fatal("clean run produced no table")
+	}
+
+	defer fault.Reset()
+	if err := fault.Enable("exper.cell:panic:key=svboom"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, eng := newTestServer(t, 2, Config{MaxJobs: 2, QueueDepth: 8})
+
+	boom, status, _ := submit(t, ts.URL, chaosBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("chaos submit status = %d", status)
+	}
+	good, status, _ := submit(t, ts.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("healthy submit status = %d", status)
+	}
+
+	failed := waitFailed(t, ts.URL, boom.ID)
+	if !strings.Contains(failed.Error, "panic") || !strings.Contains(failed.Error, "svboom") {
+		t.Errorf("failed job error %q does not name the contained panic", failed.Error)
+	}
+	done := waitState(t, ts.URL, good.ID, StateDone)
+	if done.Result == nil || done.Result.Table != want.Result.Table {
+		t.Errorf("healthy tenant's table differs from the clean run:\n--- clean\n%s--- chaos\n%s",
+			want.Result.Table, done.Result.Table)
+	}
+
+	// The service is still answering, and the metrics tell the story:
+	// one recovered panic, one failed job, one done job.
+	m := metrics(t, ts.URL)
+	if m.Engine.PanicsRecovered == 0 {
+		t.Errorf("metrics engine.panics_recovered = 0, want >= 1")
+	}
+	if m.Jobs["failed"] != 1 || m.Jobs["done"] != 1 {
+		t.Errorf("metrics jobs = %v, want 1 failed and 1 done", m.Jobs)
+	}
+	if st := eng.Stats(); st.PanicsRecovered == 0 {
+		t.Errorf("engine stats = %+v, want the panic counted", st)
+	}
+
+	// A post-chaos submission on the same server still completes: the
+	// panic cost one job, not the service.
+	v, status, _ = submit(t, ts.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("post-chaos submit status = %d", status)
+	}
+	waitState(t, ts.URL, v.ID, StateDone)
+}
+
+// TestChaosJobPointFailsOneJob: the serve.job fault point (keyed
+// tenant/jobID) panics one tenant's job inside the server's own
+// execution path; containment converts it to a failed job with a
+// stack-carrying error while other tenants run on.
+func TestChaosJobPointFailsOneJob(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Enable("serve.job:panic:key=boom/"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, 2, Config{MaxJobs: 2, QueueDepth: 8})
+
+	boom, status, _ := submit(t, ts.URL, chaosBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("chaos submit status = %d", status)
+	}
+	good, status, _ := submit(t, ts.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("healthy submit status = %d", status)
+	}
+
+	failed := waitFailed(t, ts.URL, boom.ID)
+	if !strings.Contains(failed.Error, "panic") {
+		t.Errorf("failed job error %q does not mention the contained panic", failed.Error)
+	}
+	if done := waitState(t, ts.URL, good.ID, StateDone); done.Result == nil {
+		t.Error("healthy tenant finished without a result")
+	}
+	if m := metrics(t, ts.URL); m.Jobs["failed"] != 1 || m.Jobs["done"] != 1 {
+		t.Errorf("metrics jobs = %v, want 1 failed and 1 done", m.Jobs)
+	}
+}
+
+// TestChaosServeStoreFaultsDegradeNotFail: a server whose persistent
+// store hits ENOSPC on every write keeps serving — jobs complete with
+// correct tables and /metrics reports the degradation.
+func TestChaosServeStoreFaultsDegradeNotFail(t *testing.T) {
+	_, clean, _ := newTestServer(t, 2, Config{})
+	v, status, _ := submit(t, clean.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("clean submit status = %d", status)
+	}
+	want := waitState(t, clean.URL, v.ID, StateDone)
+
+	defer fault.Reset()
+	if err := fault.Enable("store.write:err=ENOSPC"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, eng := newTestServer(t, 2, Config{})
+	eng.SetStoreRetry(2, time.Millisecond)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetStore(st)
+
+	v, status, _ = submit(t, ts.URL, healthyBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	done := waitState(t, ts.URL, v.ID, StateDone)
+	if done.Result == nil || done.Result.Table != want.Result.Table {
+		t.Errorf("store-degraded job's table differs from the clean run:\n--- clean\n%s--- degraded\n%s",
+			want.Result.Table, done.Result.Table)
+	}
+	if m := metrics(t, ts.URL); m.Engine.StoreDegraded != 1 {
+		t.Errorf("metrics engine.store_degraded = %d, want 1", m.Engine.StoreDegraded)
+	}
+}

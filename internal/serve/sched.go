@@ -19,13 +19,24 @@ type shedError struct {
 
 func (e *shedError) Error() string { return "serve: " + e.Reason }
 
-// retryAfter suggests a backoff for a queue currently holding n jobs.
-func retryAfter(n int) int {
-	s := 1 + 2*n
-	if s > 60 {
-		s = 60
+// retryAfter suggests a backoff for a queue currently holding n jobs:
+// a base proportional to the backlog plus seeded jitter scaled the
+// same way, so a burst of shed clients with identical backlogs spreads
+// its retries instead of returning as one synchronized wave. Callers
+// hold s.mu (the jitter PRNG lives under it).
+func (s *sched) retryAfter(n int) int {
+	s.jrng += 0x9e3779b97f4a7c15
+	z := s.jrng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	sec := 1 + 2*n + int(z%uint64(n+2))
+	if sec > 60 {
+		sec = 60
 	}
-	return s
+	return sec
 }
 
 // sched is the bounded job scheduler: one wait queue per SLO class,
@@ -50,6 +61,7 @@ type sched struct {
 	tenants  map[string]int
 	draining bool
 	shed     uint64
+	jrng     uint64 // seeded splitmix64 state for retryAfter jitter
 	wg       sync.WaitGroup
 }
 
@@ -61,6 +73,7 @@ func newSched(maxJobs, tenantJobs, queueDepth int, run, evict func(*Job)) *sched
 		run:        run,
 		evict:      evict,
 		tenants:    map[string]int{},
+		jrng:       1,
 	}
 }
 
@@ -76,12 +89,12 @@ func (s *sched) submit(j *Job) error {
 	}
 	if n := len(s.queues[j.Class]); n >= s.queueDepth {
 		s.shed++
-		return &shedError{retryAfter(n), fmt.Sprintf("%s queue full (%d queued)", j.Class, n)}
+		return &shedError{s.retryAfter(n), fmt.Sprintf("%s queue full (%d queued)", j.Class, n)}
 	}
 	if j.Class != Critical {
 		if n := len(s.queues[Critical]); n >= s.queueDepth {
 			s.shed++
-			return &shedError{retryAfter(n), fmt.Sprintf("shedding %s load: critical backlog full (%d queued)", j.Class, n)}
+			return &shedError{s.retryAfter(n), fmt.Sprintf("shedding %s load: critical backlog full (%d queued)", j.Class, n)}
 		}
 	}
 	s.queues[j.Class] = append(s.queues[j.Class], j)

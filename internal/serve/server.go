@@ -8,14 +8,17 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/exper"
+	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/workloads"
 )
 
 // Defaults for Config's zero values.
@@ -200,7 +203,12 @@ func (s *Server) evictJob(j *Job) {
 }
 
 // runJob executes one dispatched job (called on a scheduler goroutine).
+// It is a containment boundary: a panic anywhere in job execution —
+// engine layers re-panicking, result rendering, a stubbed execute —
+// fails this job and returns its scheduler slot; the process and every
+// other tenant's jobs keep running.
 func (s *Server) runJob(j *Job) {
+	defer s.containJobPanic(j)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	if !j.begin(cancel) {
@@ -209,7 +217,7 @@ func (s *Server) runJob(j *Job) {
 	s.cfg.Logf("serve: job %s start (%s, tenant %s, %d cells)", j.ID, j.Class, j.Tenant, j.totalCells())
 	s.watchCells(j)
 	defer s.unwatchCells(j)
-	res, err := s.execute(ctx, j)
+	res, err := s.executeSafe(ctx, j)
 	switch {
 	case err == nil:
 		j.finishDone(renderResult(res))
@@ -221,6 +229,34 @@ func (s *Server) runJob(j *Job) {
 		j.finishFailed(err)
 		s.cfg.Logf("serve: job %s failed: %v", j.ID, err)
 	}
+}
+
+// containJobPanic is runJob's last-resort recover (deferred directly,
+// so recover works): anything that escaped the inner boundaries fails
+// the job with a stack-carrying error. finish* on an already-terminal
+// job is a no-op, so double-finishing here is safe.
+func (s *Server) containJobPanic(j *Job) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	pe, ok := v.(*fault.PanicError)
+	if !ok {
+		pe = &fault.PanicError{Op: "serve: job " + j.ID, Value: v, Stack: string(debug.Stack())}
+	}
+	s.cfg.Logf("serve: job %s recovered panic: %v\n%s", j.ID, pe.Value, pe.Stack)
+	j.finishFailed(pe)
+}
+
+// executeSafe runs the job's sweep behind a panic-containment boundary
+// and the serve.job fault point (keyed "tenant/jobID", so chaos runs
+// can break one tenant's job and watch the neighbors stay healthy).
+func (s *Server) executeSafe(ctx context.Context, j *Job) (res *exper.SweepResult, err error) {
+	defer fault.CatchPanic(&err, "serve: job "+j.ID)
+	if err := fault.InjectCtx(ctx, "serve.job", j.Tenant+"/"+j.ID); err != nil {
+		return nil, err
+	}
+	return s.execute(ctx, j)
 }
 
 // runSweep executes j's cells over the shared engine, emitting one cell
@@ -243,19 +279,7 @@ func (s *Server) runSweep(ctx context.Context, j *Job) (*exper.SweepResult, erro
 			go func(bi, ci int) {
 				defer wg.Done()
 				b := j.benches[bi]
-				var (
-					res *pipeline.Result
-					err error
-				)
-				if j.sampled != nil {
-					var sr *sample.Result
-					sr, err = s.engine.RunSampled(ctx, j.cfgs[ci], b, j.spec.Scale, *j.sampled)
-					if err == nil {
-						res = sr.Estimate()
-					}
-				} else {
-					res, err = s.engine.Run(ctx, j.cfgs[ci], b, j.spec.Scale)
-				}
+				res, err := s.runCell(ctx, j, b, ci)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -273,6 +297,23 @@ func (s *Server) runSweep(ctx context.Context, j *Job) (*exper.SweepResult, erro
 		return nil, firstErr
 	}
 	return &exper.SweepResult{Spec: j.spec, Benches: j.benches, Cells: cells}, nil
+}
+
+// runCell executes one (benchmark, config) cell of j behind its own
+// containment boundary: a panic on this cell goroutine (the engine
+// contains leader panics, but a waiter-side Estimate or a bug in this
+// loop can still throw) fails the job through the normal first-error
+// path instead of crashing the process.
+func (s *Server) runCell(ctx context.Context, j *Job, b *workloads.Benchmark, ci int) (res *pipeline.Result, err error) {
+	defer fault.CatchPanic(&err, fmt.Sprintf("serve: job %s cell %s/%s", j.ID, b.Name, j.cfgs[ci].Name))
+	if j.sampled != nil {
+		sr, err := s.engine.RunSampled(ctx, j.cfgs[ci], b, j.spec.Scale, *j.sampled)
+		if err != nil {
+			return nil, err
+		}
+		return sr.Estimate(), nil
+	}
+	return s.engine.Run(ctx, j.cfgs[ci], b, j.spec.Scale)
 }
 
 // renderResult formats a finished sweep as its JobResult payload.

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+
+	"repro/internal/fault"
+)
+
+// File is the writable handle an FS hands out for atomic entry writes:
+// just enough of *os.File for the temp-write-sync-rename protocol.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS is the store's filesystem seam. Every byte the store reads or
+// writes goes through one of these calls, which is what lets the fault
+// registry fail them deterministically and lets tests substitute a
+// filesystem wholesale. The default (what Open uses) is the real OS
+// filesystem wrapped in fault points.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OSFS returns the real OS filesystem, with no fault points.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// FaultFS wraps fsys with the store's named fault points, keyed by
+// path so key= clauses can target one entry:
+//
+//	store.read    ReadFile
+//	store.write   CreateTemp, and Write/Sync on the temp file
+//	store.rename  Rename (the commit step of an atomic Put)
+//	store.remove  Remove
+//	store.stat    Stat
+//
+// With no clauses armed each point is one atomic load; Open installs
+// this wrapper by default so a production process can be failure-
+// rehearsed via CONTOPT_FAULTS alone.
+func FaultFS(fsys FS) FS { return faultFS{inner: fsys} }
+
+type faultFS struct{ inner FS }
+
+func (f faultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if err := fault.Inject("store.read", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := fault.Inject("store.write", dir); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{file}, nil
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if err := fault.Inject("store.rename", newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error {
+	if err := fault.Inject("store.remove", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f faultFS) Stat(name string) (os.FileInfo, error) {
+	if err := fault.Inject("store.stat", name); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile interposes store.write on the data and durability steps of
+// a temp-file write, so a clause with nth= can land ENOSPC mid-write
+// rather than only at file creation.
+type faultFile struct{ File }
+
+func (f faultFile) Write(p []byte) (int, error) {
+	if err := fault.Inject("store.write", f.Name()); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f faultFile) Sync() error {
+	if err := fault.Inject("store.write", f.Name()); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// ErrorClass partitions store errors by the response they warrant.
+// The store itself never retries or degrades — it reports honestly and
+// leaves policy to the caller (the engine's resilience layer).
+type ErrorClass int
+
+const (
+	// ClassNone: no error.
+	ClassNone ErrorClass = iota
+	// ClassNotFound: no entry for the key — a plain miss, never retried.
+	ClassNotFound
+	// ClassCorrupt: an entry exists but cannot be trusted. A miss to
+	// readers (the simulator rewrites it); retrying cannot help.
+	ClassCorrupt
+	// ClassTransient: an I/O error that retrying or waiting may clear —
+	// pressure-shaped errnos like EIO, ENOSPC, EMFILE, EAGAIN. Worth a
+	// bounded retry; worth degrading to memory-only after the budget.
+	ClassTransient
+	// ClassFatal: everything else — misconfiguration (EACCES, EROFS),
+	// bad keys, encoding bugs. Retrying is noise; degrade immediately.
+	ClassFatal
+)
+
+// String names the class for logs and diagnostics.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassNotFound:
+		return "not-found"
+	case ClassCorrupt:
+		return "corrupt"
+	case ClassTransient:
+		return "transient"
+	default:
+		return "fatal"
+	}
+}
+
+// transientErrnos are the pressure-shaped errnos: conditions that
+// arrive under load and clear on their own (or, for ENOSPC, once an
+// operator intervenes — the degrade-then-probe path exists for it).
+var transientErrnos = map[syscall.Errno]bool{
+	syscall.EIO:       true,
+	syscall.ENOSPC:    true,
+	syscall.EDQUOT:    true,
+	syscall.EMFILE:    true,
+	syscall.ENFILE:    true,
+	syscall.EAGAIN:    true,
+	syscall.EINTR:     true,
+	syscall.EBUSY:     true,
+	syscall.ENOMEM:    true,
+	syscall.ETIMEDOUT: true,
+}
+
+// Classify assigns err its ErrorClass, seeing through wrapping (fault
+// injection, fmt.Errorf %w chains) down to the underlying errno.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ClassNone
+	}
+	if errors.Is(err, ErrNotFound) || errors.Is(err, fs.ErrNotExist) {
+		return ClassNotFound
+	}
+	if IsCorrupt(err) {
+		return ClassCorrupt
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		if transientErrnos[errno] {
+			return ClassTransient
+		}
+		return ClassFatal
+	}
+	if errors.Is(err, fault.ErrInjected) {
+		return ClassTransient
+	}
+	return ClassFatal
+}

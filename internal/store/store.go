@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -192,17 +191,25 @@ type envelope struct {
 // multiple processes sharing the directory.
 type Store struct {
 	dir string
+	fs  FS
 }
 
-// Open opens (creating if necessary) the store rooted at dir.
+// Open opens (creating if necessary) the store rooted at dir, on the
+// real filesystem with fault points armed-but-idle (see FaultFS).
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, FaultFS(OSFS()))
+}
+
+// OpenFS opens the store rooted at dir on an explicit filesystem —
+// the seam tests use to substitute or instrument I/O.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "entries"), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(dir, "entries"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -219,18 +226,20 @@ func (s *Store) path(k Key) string {
 // *pipeline.Result for KindExact, *sample.Result for KindSampled,
 // *Count for KindCount). It returns ErrNotFound when no entry exists
 // and a *CorruptError when one exists but cannot be trusted; both are
-// cache misses to a layering caller, never fatal.
+// cache misses to a layering caller, never fatal. Any other error is
+// real I/O trouble, reported with its cause intact so Classify can
+// separate transient pressure from misconfiguration.
 func (s *Store) Get(k Key, out any) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
 	path := s.path(k)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("%w: %s", ErrNotFound, k)
 		}
-		return &CorruptError{Path: path, Reason: err.Error()}
+		return fmt.Errorf("store: reading %s: %w", k, err)
 	}
 	env, err := decodeEnvelope(path, data, &k)
 	if err != nil {
@@ -296,14 +305,14 @@ func (s *Store) Put(k Key, v any) error {
 
 	path := s.path(k)
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: writing %s: %w", k, err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := s.fs.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: writing %s: %w", k, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing %s: %w", k, err)
@@ -315,7 +324,7 @@ func (s *Store) Put(k Key, v any) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: writing %s: %w", k, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: writing %s: %w", k, err)
 	}
 	return nil
@@ -348,7 +357,7 @@ func (s *Store) List() ([]Entry, error) {
 	var out []Entry
 	err := s.walk(func(path string, info fs.FileInfo) {
 		e := Entry{Path: path, Size: info.Size(), ModTime: info.ModTime()}
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
 			e.Err = err
 		} else if env, derr := decodeEnvelope(path, data, nil); derr != nil {
@@ -472,21 +481,82 @@ func (s *Store) GC() (GCReport, error) {
 			rep.RemainingIntact++
 			continue
 		}
-		if err := os.Remove(e.Path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		// Delete only entries proven corrupt by their content. A read
+		// that failed with transient pressure (EIO under load) or a
+		// permission problem is not evidence the entry is bad — deleting
+		// on it would let a flaky disk eat intact results.
+		if Classify(e.Err) != ClassCorrupt {
+			continue
+		}
+		if err := s.fs.Remove(e.Path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return rep, fmt.Errorf("store: gc: %w", err)
 		}
 		rep.RemovedCorrupt++
 		rep.ReclaimedBytes += e.Size
 	}
 	for _, path := range s.tempFiles() {
-		info, err := os.Stat(path)
+		info, err := s.fs.Stat(path)
 		if err == nil {
 			rep.ReclaimedBytes += info.Size()
 		}
-		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := s.fs.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return rep, fmt.Errorf("store: gc: %w", err)
 		}
 		rep.RemovedTemp++
 	}
 	return rep, nil
+}
+
+// Probe checks whether the store's directory is writable again: one
+// temp-file create/write/remove round trip through the same fault-
+// instrumented seam as real writes. The engine's degraded mode calls
+// this periodically to decide when to re-attach — a probe that fails
+// under ENOSPC keeps the store detached instead of flapping.
+func (s *Store) Probe() error {
+	dir := filepath.Join(s.dir, "entries")
+	tmp, err := s.fs.CreateTemp(dir, ".tmp-probe-*")
+	if err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write([]byte(Format))
+	cerr := tmp.Close()
+	s.fs.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("store: probe: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: probe: %w", cerr)
+	}
+	return nil
+}
+
+// Quarantine moves every corrupt entry into quarantine/ under the
+// store root — outside the entries tree, so nothing re-reads, re-lists
+// or GCs the evidence — and returns how many it moved. Intact entries
+// are never touched.
+func (s *Store) Quarantine() (int, error) {
+	entries, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	qdir := filepath.Join(s.dir, "quarantine")
+	for _, e := range entries {
+		// Move only proven-corrupt entries, same standard as GC.
+		if Classify(e.Err) != ClassCorrupt {
+			continue
+		}
+		if moved == 0 {
+			if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+				return moved, fmt.Errorf("store: quarantine: %w", err)
+			}
+		}
+		dst := filepath.Join(qdir, filepath.Base(e.Path))
+		if err := s.fs.Rename(e.Path, dst); err != nil {
+			return moved, fmt.Errorf("store: quarantine: %w", err)
+		}
+		moved++
+	}
+	return moved, nil
 }

@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"repro/internal/emu"
 	"repro/internal/pipeline"
 )
 
@@ -14,8 +15,18 @@ func runPair(t *testing.T, name string, scale int) (base, opt *pipeline.Result) 
 		t.Fatalf("unknown benchmark %s", name)
 	}
 	prog := b.Program(scale)
-	return pipeline.Run(pipeline.DefaultConfig().Baseline(), prog),
-		pipeline.Run(pipeline.DefaultConfig(), prog)
+	return mustRun(t, pipeline.DefaultConfig().Baseline(), prog),
+		mustRun(t, pipeline.DefaultConfig(), prog)
+}
+
+// mustRun runs the pipeline and fails the test on error.
+func mustRun(t *testing.T, cfg pipeline.Config, prog *emu.Program) *pipeline.Result {
+	t.Helper()
+	res, err := pipeline.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 // TestEngineeredBehaviors pins the per-benchmark properties DESIGN.md §4
@@ -116,7 +127,7 @@ func TestEngineeredBehaviors(t *testing.T) {
 func TestSuiteCharacterDiffers(t *testing.T) {
 	sums := map[string]struct{ removed, loads uint64 }{}
 	for _, b := range All() {
-		res := pipeline.Run(pipeline.DefaultConfig(), b.Program(2))
+		res := mustRun(t, pipeline.DefaultConfig(), b.Program(2))
 		s := sums[b.Suite]
 		s.removed += res.Opt.LoadsRemoved
 		s.loads += res.Opt.Loads

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Chaos smoke test: boot the sweep service with deterministic fault
+# injection armed — every store write returns ENOSPC and every cell of
+# the mcf benchmark panics — then assert the failure model end to end:
+# the service keeps running, the poisoned tenant's job fails alone with
+# a contained panic, the healthy tenant's result is byte-identical to a
+# clean run, and /metrics counts the recovered panic and the store
+# degradation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-/tmp/contopt-chaos-smoke}
+STORE=$(mktemp -d)
+LOG=$(mktemp)
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$STORE" "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_smoke: $1" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+go build -o "$BIN" ./cmd/contopt
+
+start_server() { # $1 = fault spec ("" = none)
+  : > "$LOG"
+  CONTOPT_FAULTS="$1" "$BIN" serve -addr 127.0.0.1:0 -store "$STORE" 2>> "$LOG" &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serve: listening on //p' "$LOG")
+    [ -n "$ADDR" ] && return 0
+    sleep 0.1
+  done
+  fail "server did not report a listen address"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+  SERVER_PID=""
+}
+
+submit() { # $1 = request body; prints the job id
+  curl -sf "http://$ADDR/v1/sweeps" -d "$1" \
+    | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4
+}
+
+wait_terminal() { # $1 = job id; prints the terminal state
+  for _ in $(seq 1 600); do
+    STATE=$(curl -sf "http://$ADDR/v1/jobs/$1" | grep -o '"state": "[^"]*"' | head -1 | cut -d'"' -f4)
+    case "$STATE" in
+      done|failed|canceled) echo "$STATE"; return 0 ;;
+    esac
+    sleep 0.2
+  done
+  fail "job $1 did not reach a terminal state within 120s"
+}
+
+job_table() { # $1 = job id; prints the (JSON-escaped) result table line
+  curl -sf "http://$ADDR/v1/jobs/$1" | grep -o '"table": "[^"]*"'
+}
+
+HEALTHY='{"tenant":"good","slo":"critical","spec":{"title":"healthy","benchmarks":["untst","tst"],"scale":1,"per_benchmark":true,"variants":[{"label":"opt"}]}}'
+POISON='{"tenant":"boom","slo":"batch","spec":{"title":"poison","benchmarks":["mcf"],"scale":1,"per_benchmark":true,"variants":[{"label":"opt"}]}}'
+
+# Clean reference run: no faults, fresh store.
+start_server ""
+JOB=$(submit "$HEALTHY")
+[ "$(wait_terminal "$JOB")" = done ] || fail "clean healthy job did not finish"
+WANT=$(job_table "$JOB")
+[ -n "$WANT" ] || fail "clean run produced no table"
+stop_server
+rm -rf "$STORE"; STORE=$(mktemp -d)
+
+# Chaos run: every store write ENOSPCs and every mcf cell panics.
+start_server 'store.write:err=ENOSPC;exper.cell:panic:key=mcf'
+grep -q "fault injection armed" "$LOG" || fail "server did not report armed faults"
+
+BOOM=$(submit "$POISON")
+GOOD=$(submit "$HEALTHY")
+echo "chaos_smoke: poison job $BOOM, healthy job $GOOD on $ADDR"
+
+[ "$(wait_terminal "$BOOM")" = failed ] || fail "poisoned job should fail (state was $STATE)"
+curl -sf "http://$ADDR/v1/jobs/$BOOM" | grep -q 'panic' \
+  || fail "poisoned job's error does not mention the contained panic"
+
+[ "$(wait_terminal "$GOOD")" = done ] || fail "healthy job should finish despite the chaos"
+GOT=$(job_table "$GOOD")
+[ "$GOT" = "$WANT" ] || fail "healthy tenant's table differs from the clean run:
+want: $WANT
+got:  $GOT"
+
+# The metrics tell the failure story: panics recovered, the store
+# degraded exactly once, one failed and one done job — and the service
+# is still answering.
+METRICS=$(curl -sf "http://$ADDR/metrics") || fail "service stopped answering /metrics"
+echo "$METRICS" | grep -q '"panics_recovered": [1-9]' \
+  || fail "metrics missing recovered panics: $METRICS"
+echo "$METRICS" | grep -q '"store_degraded": 1' \
+  || fail "metrics should report exactly one store degradation: $METRICS"
+echo "$METRICS" | grep -q '"failed": 1' || fail "metrics should report 1 failed job: $METRICS"
+echo "$METRICS" | grep -q '"done": 1' || fail "metrics should report 1 done job: $METRICS"
+grep -q "degraded to memory-only" "$LOG" || fail "server log missing the degradation line"
+
+# A post-chaos submission still completes: the faults cost one job and
+# some durability, never the service.
+JOB=$(submit "$HEALTHY")
+[ "$(wait_terminal "$JOB")" = done ] || fail "post-chaos healthy job did not finish"
+stop_server
+
+echo "chaos_smoke: ok (poison failed alone, healthy byte-identical, metrics counted the damage)"
